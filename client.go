@@ -1,0 +1,59 @@
+package vchain
+
+import (
+	"github.com/vchain-go/vchain/internal/chain"
+	"github.com/vchain-go/vchain/internal/core"
+	"github.com/vchain-go/vchain/internal/subscribe"
+)
+
+// LightClient is the query user: it stores block headers only and
+// verifies SP answers against them. A nil error from Verify certifies
+// that the returned objects are exactly the correct result set
+// (soundness and completeness, §3).
+type LightClient struct {
+	sys   *System
+	light *chain.LightStore
+}
+
+// NewLightClient creates an empty light client for this system.
+func (s *System) NewLightClient() *LightClient {
+	return &LightClient{
+		sys:   s,
+		light: chain.NewLightStore(chain.Difficulty(s.cfg.Difficulty)),
+	}
+}
+
+// SyncHeaders ingests headers, validating linkage and proof-of-work.
+func (c *LightClient) SyncHeaders(headers []Header) error {
+	return c.light.Sync(headers)
+}
+
+// Height returns the number of synced headers.
+func (c *LightClient) Height() int { return c.light.Height() }
+
+// StorageBits reports the client's header storage in bits (the light
+// node cost metric of Table 1).
+func (c *LightClient) StorageBits() int { return c.light.SizeBits() }
+
+// WindowByTime resolves a timestamp window [ts, te] to block heights
+// against the client's own headers (never trusting the SP's mapping).
+// ok is false when no synced block falls inside the window.
+func (c *LightClient) WindowByTime(ts, te int64) (start, end int, ok bool) {
+	return c.light.WindowByTime(ts, te)
+}
+
+// Verify checks a time-window VO and returns the verified result set.
+func (c *LightClient) Verify(q Query, vo *VO) ([]Object, error) {
+	v := &core.Verifier{Acc: c.sys.acc, Light: c.light}
+	return v.VerifyTimeWindow(q, vo)
+}
+
+// VerifyPublication checks a subscription delivery for query q.
+func (c *LightClient) VerifyPublication(q Query, pub *Publication) ([]Object, error) {
+	v := &core.Verifier{Acc: c.sys.acc, Light: c.light}
+	return subscribe.VerifyPublication(v, q, pub)
+}
+
+// VOSize reports a VO's transfer size in bytes (the paper's VO-size
+// metric; result payloads excluded).
+func (c *LightClient) VOSize(vo *VO) int { return vo.SizeBytes(c.sys.acc) }

@@ -1,0 +1,69 @@
+// Command vchain-bench regenerates the vChain paper's evaluation tables
+// and figures on synthetic workloads.
+//
+// Usage:
+//
+//	vchain-bench -exp table1                 # one experiment
+//	vchain-bench -exp all                    # everything (slow)
+//	vchain-bench -exp fig9 -blocks 64 -queries 5 -preset default
+//
+// Each experiment prints an aligned text table whose rows mirror the
+// paper's series; see EXPERIMENTS.md for the paper-vs-measured notes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/vchain-go/vchain/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment to run: "+strings.Join(bench.ExperimentNames(), ", ")+", or 'all'")
+		preset  = flag.String("preset", "toy", "pairing preset: toy | default | conservative")
+		blocks  = flag.Int("blocks", 0, "chain length per configuration (0 = default)")
+		objs    = flag.Int("objects", 0, "objects per block (0 = default)")
+		queries = flag.Int("queries", 0, "queries averaged per data point (0 = default)")
+		skip    = flag.Int("skiplist", 0, "skip-list size ℓ (0 = default)")
+		seed    = flag.Int64("seed", 0, "workload seed (0 = default)")
+	)
+	flag.Parse()
+
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := bench.Options{
+		Preset:          *preset,
+		Blocks:          *blocks,
+		ObjectsPerBlock: *objs,
+		Queries:         *queries,
+		SkipListSize:    *skip,
+		Seed:            *seed,
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = bench.ExperimentNames()
+	}
+	for _, name := range names {
+		driver, ok := bench.Experiments[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "vchain-bench: unknown experiment %q (want one of %s)\n",
+				name, strings.Join(bench.ExperimentNames(), ", "))
+			os.Exit(2)
+		}
+		start := time.Now()
+		table, err := driver(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vchain-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(table.String())
+		fmt.Printf("   (completed in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

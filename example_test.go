@@ -1,0 +1,87 @@
+package vchain_test
+
+import (
+	"errors"
+	"fmt"
+
+	vchain "github.com/vchain-go/vchain"
+)
+
+// Example shows the complete verifiable-query flow: mine, sync headers,
+// query, verify.
+func Example() {
+	sys, err := vchain.NewSystem(vchain.Config{
+		Preset:   "toy", // never use "toy" outside tests and docs
+		BitWidth: 8,
+		Capacity: 512,
+		Seed:     []byte("doc-example"),
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	node := sys.NewFullNode()
+	node.Mine([]vchain.Object{
+		{ID: 1, TS: 0, V: []int64{42}, W: []string{"sedan", "benz"}},
+		{ID: 2, TS: 0, V: []int64{99}, W: []string{"van", "audi"}},
+	}, 0)
+
+	client := sys.NewLightClient()
+	client.SyncHeaders(node.Headers())
+
+	q := vchain.Query{
+		StartBlock: 0, EndBlock: 0,
+		Range: &vchain.RangeCond{Lo: []int64{0}, Hi: []int64{50}},
+		Bool:  vchain.And(vchain.Or("sedan")),
+		Width: 8,
+	}
+	vo, _ := node.TimeWindow(q)
+	results, err := client.Verify(q, vo)
+	fmt.Println(len(results), err)
+	// Output: 1 <nil>
+}
+
+// ExampleLightClient_Verify demonstrates that a cheating SP is caught:
+// dropping a block from the VO yields a completeness violation.
+func ExampleLightClient_Verify() {
+	sys, _ := vchain.NewSystem(vchain.Config{
+		Preset: "toy", BitWidth: 8, Capacity: 512, Seed: []byte("doc-cheat"),
+	})
+	node := sys.NewFullNode()
+	for i := 0; i < 2; i++ {
+		node.Mine([]vchain.Object{
+			{ID: vchain.ObjectID(i + 1), TS: int64(i), V: []int64{7}, W: []string{"sedan"}},
+		}, int64(i))
+	}
+	client := sys.NewLightClient()
+	client.SyncHeaders(node.Headers())
+
+	q := vchain.Query{StartBlock: 0, EndBlock: 1, Bool: vchain.And(vchain.Or("sedan")), Width: 8}
+	vo, _ := node.TimeWindow(q)
+	vo.Blocks = vo.Blocks[:1] // the "SP" hides the older block
+
+	_, err := client.Verify(q, vo)
+	fmt.Println(errors.Is(err, vchain.ErrCompleteness))
+	// Output: true
+}
+
+// ExampleFullNode_Subscribe registers a continuous query and verifies
+// its publications.
+func ExampleFullNode_Subscribe() {
+	sys, _ := vchain.NewSystem(vchain.Config{
+		Preset: "toy", BitWidth: 8, Capacity: 512, Seed: []byte("doc-sub"),
+	})
+	node := sys.NewFullNode()
+	q := vchain.Query{Bool: vchain.And(vchain.Or("benz", "bmw")), Width: 8}
+	node.Subscribe(q, vchain.SubscribeOptions{UseIPTree: true, Dims: 1})
+
+	_, pubs, _ := node.Mine([]vchain.Object{
+		{ID: 1, TS: 0, V: []int64{10}, W: []string{"sedan", "benz"}},
+	}, 0)
+
+	client := sys.NewLightClient()
+	client.SyncHeaders(node.Headers())
+	objs, err := client.VerifyPublication(q, &pubs[0])
+	fmt.Println(len(objs), err)
+	// Output: 1 <nil>
+}

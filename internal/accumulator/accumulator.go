@@ -1,0 +1,101 @@
+// Package accumulator implements the two cryptographic multiset
+// accumulator constructions of the vChain paper (§5.2):
+//
+//   - Construction 1 (q-SDH, after Papamanthou et al.): acc(X) =
+//     g^{∏(x_i+s)}; a disjointness proof is the pair (g^{Q1(s)},
+//     g^{Q2(s)}) of Bézout cofactors with P1·Q1 + P2·Q2 = 1, verified
+//     by ê(acc(X1), F1)·ê(acc(X2), F2) = ê(g, g).
+//
+//   - Construction 2 (q-DHE, after Zhang et al.): acc(X) = (g^{A(s)},
+//     g^{B(s)}) with A(s)=Σ s^{x_i} and B(s)=Σ s^{q−x_i}; a
+//     disjointness proof is π = g^{A(X1)(s)·B(X2)(s)}, computable from
+//     the public key exactly when the s^q term is absent, i.e. when the
+//     multisets are disjoint. Verified by ê(dA(X1), dB(X2)) = ê(π, g).
+//     Construction 2 additionally supports Sum (aggregating
+//     accumulation values) and ProofSum (aggregating proofs that share
+//     the same second multiset), which power vChain's online batch
+//     verification (§6.3) and lazy subscription authentication (§7.2).
+//
+// Both constructions share a Type-1 pairing group; "g^x" below is
+// scalar multiplication on the curve.
+package accumulator
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/vchain-go/vchain/internal/crypto/ec"
+	"github.com/vchain-go/vchain/internal/multiset"
+)
+
+// Acc is an accumulation value. Construction 1 uses only A;
+// Construction 2 uses the pair (A, B) = (dA, dB).
+type Acc struct {
+	A ec.Point
+	B ec.Point
+}
+
+// Proof is a set-disjointness proof. Construction 1 uses the Bézout
+// pair (F1, F2); Construction 2 uses only F1 = π.
+type Proof struct {
+	F1 ec.Point
+	F2 ec.Point
+}
+
+// Accumulator is the interface shared by both constructions. An
+// implementation carries the public key material; the secret trapdoor
+// is destroyed after KeyGen (Setup and ProveDisjoint work from the
+// public key alone, mirroring the paper where miners hold no secrets).
+type Accumulator interface {
+	// Name identifies the construction ("acc1" or "acc2").
+	Name() string
+	// Setup computes acc(X) from the public key.
+	Setup(x multiset.Multiset) (Acc, error)
+	// ProveDisjoint produces a proof that x1 ∩ x2 = ∅. It fails when
+	// the multisets intersect or exceed the key's capacity.
+	ProveDisjoint(x1, x2 multiset.Multiset) (Proof, error)
+	// VerifyDisjoint checks a disjointness proof against two
+	// accumulation values.
+	VerifyDisjoint(acc1, acc2 Acc, proof Proof) bool
+	// SupportsAgg reports whether Sum/ProofSum are available
+	// (Construction 2 only).
+	SupportsAgg() bool
+	// MaxCardinality returns the largest multiset cardinality the key
+	// can accumulate, or -1 when unbounded (Construction 2). Callers
+	// use it to pre-check feasibility before scheduling proof work.
+	MaxCardinality() int
+	// Sum aggregates accumulation values: Sum(acc(X1),…,acc(Xn)) =
+	// acc(X1+…+Xn) under multiset sum.
+	Sum(accs ...Acc) (Acc, error)
+	// ProofSum aggregates disjointness proofs that share the same
+	// second multiset.
+	ProofSum(proofs ...Proof) (Proof, error)
+	// AccEqual reports equality of accumulation values.
+	AccEqual(a, b Acc) bool
+	// ValidateAcc checks that an untrusted accumulation value consists
+	// of points on the curve (deserialization hygiene).
+	ValidateAcc(a Acc) bool
+	// ValidateProof checks that an untrusted proof consists of points
+	// on the curve.
+	ValidateProof(p Proof) bool
+	// AccBytes serializes an accumulation value (for hashing into
+	// block headers and for VO size accounting).
+	AccBytes(a Acc) []byte
+	// ProofBytes serializes a proof (for VO size accounting).
+	ProofBytes(p Proof) []byte
+}
+
+// ErrNotDisjoint is returned by ProveDisjoint when the multisets share
+// an element: no valid proof exists (unforgeability).
+var ErrNotDisjoint = errors.New("accumulator: multisets are not disjoint")
+
+// ErrCapacity is returned when a multiset exceeds the public key's
+// capacity bound q.
+var ErrCapacity = errors.New("accumulator: multiset exceeds key capacity")
+
+// ErrAggUnsupported is returned by Sum/ProofSum on Construction 1.
+var ErrAggUnsupported = errors.New("accumulator: construction does not support aggregation")
+
+func capErr(what string, n, q int) error {
+	return fmt.Errorf("%w: %s has %d occurrences, key capacity %d", ErrCapacity, what, n, q)
+}

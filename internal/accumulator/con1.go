@@ -1,0 +1,203 @@
+package accumulator
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+
+	"github.com/vchain-go/vchain/internal/crypto/ec"
+	"github.com/vchain-go/vchain/internal/crypto/pairing"
+	"github.com/vchain-go/vchain/internal/crypto/poly"
+	"github.com/vchain-go/vchain/internal/multiset"
+)
+
+// Con1 is Construction 1 (q-SDH based). Its public key is
+// (g, g^s, …, g^{s^q}); the capacity q bounds the cardinality of any
+// multiset it can accumulate (and therefore the degree of any Bézout
+// cofactor it must commit to).
+type Con1 struct {
+	pr *pairing.Params
+	// q is the maximum multiset cardinality.
+	q int
+	// pk[i] = g^{s^i}, i = 0..q.
+	pk []ec.Point
+	// ring is Z_r for characteristic polynomials.
+	ring *poly.Ring
+	// eGG caches ê(g, g), the right-hand side of every verification.
+	eGG pairing.GT
+}
+
+// KeyGenCon1 runs the trusted setup for Construction 1 with a fresh
+// random trapdoor. The trapdoor s never leaves this function.
+func KeyGenCon1(pr *pairing.Params, q int) (*Con1, error) {
+	s, err := rand.Int(rand.Reader, pr.R)
+	if err != nil {
+		return nil, fmt.Errorf("accumulator: sampling trapdoor: %w", err)
+	}
+	if s.Sign() == 0 {
+		s.SetInt64(1)
+	}
+	return keyGenCon1WithTrapdoor(pr, q, s), nil
+}
+
+// KeyGenCon1Deterministic derives the trapdoor from a seed. Tests and
+// reproducible benchmarks use this; production setups must use
+// KeyGenCon1.
+func KeyGenCon1Deterministic(pr *pairing.Params, q int, seed []byte) *Con1 {
+	s := pr.RandScalar(append([]byte("con1-trapdoor/"), seed...))
+	return keyGenCon1WithTrapdoor(pr, q, s)
+}
+
+func keyGenCon1WithTrapdoor(pr *pairing.Params, q int, s *big.Int) *Con1 {
+	if q < 1 {
+		panic("accumulator: capacity must be ≥ 1")
+	}
+	pk := make([]ec.Point, q+1)
+	pk[0] = pr.G
+	// Every public-key element is a power of the same base; a
+	// fixed-base window table makes the q scalar multiplications ~4×
+	// cheaper.
+	fb := ec.NewFixedBase(pr.C, pr.G, pr.R.BitLen())
+	cur := new(big.Int).SetInt64(1)
+	for i := 1; i <= q; i++ {
+		cur.Mul(cur, s)
+		cur.Mod(cur, pr.R)
+		pk[i] = fb.Mul(cur)
+	}
+	return &Con1{
+		pr:   pr,
+		q:    q,
+		pk:   pk,
+		ring: poly.NewRing(pr.R),
+		eGG:  pr.PairBase(),
+	}
+}
+
+// Name implements Accumulator.
+func (c *Con1) Name() string { return "acc1" }
+
+// Capacity returns the maximum multiset cardinality q.
+func (c *Con1) Capacity() int { return c.q }
+
+// Params exposes the pairing parameters (needed by VO size accounting).
+func (c *Con1) Params() *pairing.Params { return c.pr }
+
+// elemScalars hashes each occurrence of the multiset into Z_r*.
+func (c *Con1) elemScalars(x multiset.Multiset) []*big.Int {
+	occ := x.Expand()
+	out := make([]*big.Int, len(occ))
+	for i, e := range occ {
+		out[i] = c.pr.RandScalar([]byte(e))
+	}
+	return out
+}
+
+// charPoly returns P(X) = ∏ (x_i + X) over the hashed elements.
+func (c *Con1) charPoly(x multiset.Multiset) poly.Poly {
+	return c.ring.FromRoots(c.elemScalars(x))
+}
+
+// commit evaluates g^{P(s)} in the exponent using the public key:
+// g^{Σ c_i s^i} = ∏ pk[i]^{c_i}.
+func (c *Con1) commit(p poly.Poly) (ec.Point, error) {
+	if p.Degree() > c.q {
+		return ec.Point{}, capErr("polynomial degree", p.Degree(), c.q)
+	}
+	acc := c.pr.C.Infinity()
+	for i := 0; i <= p.Degree(); i++ {
+		ci := p.Coeff(i)
+		if ci.Sign() == 0 {
+			continue
+		}
+		acc = c.pr.C.Add(acc, c.pr.C.ScalarMul(c.pk[i], ci))
+	}
+	return acc, nil
+}
+
+// Setup implements Accumulator: acc(X) = g^{∏ (x_i + s)}.
+func (c *Con1) Setup(x multiset.Multiset) (Acc, error) {
+	if n := x.Cardinality(); n > c.q {
+		return Acc{}, capErr("multiset", n, c.q)
+	}
+	pt, err := c.commit(c.charPoly(x))
+	if err != nil {
+		return Acc{}, err
+	}
+	return Acc{A: pt, B: c.pr.C.Infinity()}, nil
+}
+
+// ProveDisjoint implements Accumulator. With X1 ∩ X2 = ∅ the
+// characteristic polynomials share no root, so the extended Euclidean
+// algorithm yields Q1, Q2 with P1·Q1 + P2·Q2 = 1; the proof commits to
+// both cofactors.
+func (c *Con1) ProveDisjoint(x1, x2 multiset.Multiset) (Proof, error) {
+	if !multiset.Disjoint(x1, x2) {
+		return Proof{}, ErrNotDisjoint
+	}
+	if n := x1.Cardinality(); n > c.q {
+		return Proof{}, capErr("first multiset", n, c.q)
+	}
+	if n := x2.Cardinality(); n > c.q {
+		return Proof{}, capErr("second multiset", n, c.q)
+	}
+	p1 := c.charPoly(x1)
+	p2 := c.charPoly(x2)
+	g, u, v := c.ring.ExtGCD(p1, p2)
+	if !c.ring.Equal(g, c.ring.One()) {
+		// Disjoint multisets can still collide after hashing to Z_r —
+		// negligible for a collision-resistant hash, but fail loudly.
+		return Proof{}, fmt.Errorf("accumulator: hashed elements collide, gcd %v", g)
+	}
+	f1, err := c.commit(u)
+	if err != nil {
+		return Proof{}, err
+	}
+	f2, err := c.commit(v)
+	if err != nil {
+		return Proof{}, err
+	}
+	return Proof{F1: f1, F2: f2}, nil
+}
+
+// VerifyDisjoint implements Accumulator:
+// ê(acc1, F1) · ê(acc2, F2) =? ê(g, g), computed as a pairing product
+// so the dominant final exponentiation happens once.
+func (c *Con1) VerifyDisjoint(acc1, acc2 Acc, proof Proof) bool {
+	lhs := c.pr.PairProduct(
+		pairing.PairPair{P: acc1.A, Q: proof.F1},
+		pairing.PairPair{P: acc2.A, Q: proof.F2},
+	)
+	return lhs.Equal(c.eGG)
+}
+
+// SupportsAgg implements Accumulator: Construction 1 cannot aggregate.
+func (c *Con1) SupportsAgg() bool { return false }
+
+// MaxCardinality implements Accumulator: the key bounds multiset size.
+func (c *Con1) MaxCardinality() int { return c.q }
+
+// Sum implements Accumulator (unsupported).
+func (c *Con1) Sum(...Acc) (Acc, error) { return Acc{}, ErrAggUnsupported }
+
+// ProofSum implements Accumulator (unsupported).
+func (c *Con1) ProofSum(...Proof) (Proof, error) { return Proof{}, ErrAggUnsupported }
+
+// AccEqual implements Accumulator.
+func (c *Con1) AccEqual(a, b Acc) bool { return a.A.Equal(b.A) }
+
+// ValidateAcc implements Accumulator (Construction 1 uses only A).
+func (c *Con1) ValidateAcc(a Acc) bool { return c.pr.C.IsOnCurve(a.A) }
+
+// ValidateProof implements Accumulator.
+func (c *Con1) ValidateProof(p Proof) bool {
+	return c.pr.C.IsOnCurve(p.F1) && c.pr.C.IsOnCurve(p.F2)
+}
+
+// AccBytes implements Accumulator.
+func (c *Con1) AccBytes(a Acc) []byte { return c.pr.C.Bytes(a.A) }
+
+// ProofBytes implements Accumulator.
+func (c *Con1) ProofBytes(p Proof) []byte {
+	out := c.pr.C.Bytes(p.F1)
+	return append(out, c.pr.C.Bytes(p.F2)...)
+}

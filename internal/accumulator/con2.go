@@ -1,0 +1,212 @@
+package accumulator
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+
+	"github.com/vchain-go/vchain/internal/crypto/ec"
+	"github.com/vchain-go/vchain/internal/crypto/pairing"
+	"github.com/vchain-go/vchain/internal/multiset"
+)
+
+// Con2 is Construction 2 (q-DHE based). Elements live in the bounded
+// integer domain [1, q−1] (an ElementEncoder maps attribute strings
+// there); the public key is g^{s^i} for i ∈ [1, 2q−2] \ {q} — the
+// missing q-th power is precisely what makes intersecting multisets
+// unprovable. Unlike Construction 1, accumulation values and proofs
+// are additively homomorphic (Sum / ProofSum).
+type Con2 struct {
+	pr *pairing.Params
+	// q is the element-domain bound.
+	q int
+	// pk[i] = g^{s^i} for i ∈ [1, 2q−2], pk[q] is the hole (identity,
+	// never referenced). pk[0] = g.
+	pk []ec.Point
+	// enc maps attribute strings into [1, q−1].
+	enc ElementEncoder
+}
+
+// KeyGenCon2 runs the trusted setup for Construction 2 with a fresh
+// random trapdoor.
+func KeyGenCon2(pr *pairing.Params, q int, enc ElementEncoder) (*Con2, error) {
+	s, err := rand.Int(rand.Reader, pr.R)
+	if err != nil {
+		return nil, fmt.Errorf("accumulator: sampling trapdoor: %w", err)
+	}
+	if s.Sign() == 0 {
+		s.SetInt64(1)
+	}
+	return keyGenCon2WithTrapdoor(pr, q, enc, s), nil
+}
+
+// KeyGenCon2Deterministic derives the trapdoor from a seed for tests
+// and reproducible benchmarks.
+func KeyGenCon2Deterministic(pr *pairing.Params, q int, enc ElementEncoder, seed []byte) *Con2 {
+	s := pr.RandScalar(append([]byte("con2-trapdoor/"), seed...))
+	return keyGenCon2WithTrapdoor(pr, q, enc, s)
+}
+
+func keyGenCon2WithTrapdoor(pr *pairing.Params, q int, enc ElementEncoder, s *big.Int) *Con2 {
+	if q < 2 {
+		panic("accumulator: domain bound q must be ≥ 2")
+	}
+	if enc == nil {
+		panic("accumulator: element encoder required")
+	}
+	pk := make([]ec.Point, 2*q-1)
+	pk[0] = pr.G
+	fb := ec.NewFixedBase(pr.C, pr.G, pr.R.BitLen())
+	cur := new(big.Int).SetInt64(1)
+	for i := 1; i <= 2*q-2; i++ {
+		cur.Mul(cur, s)
+		cur.Mod(cur, pr.R)
+		if i == q {
+			// The hole: the q-th power must not be published. Keep the
+			// running power of s correct but store the identity.
+			pk[i] = pr.C.Infinity()
+			continue
+		}
+		pk[i] = fb.Mul(cur)
+	}
+	return &Con2{pr: pr, q: q, pk: pk, enc: enc}
+}
+
+// Name implements Accumulator.
+func (c *Con2) Name() string { return "acc2" }
+
+// DomainBound returns q.
+func (c *Con2) DomainBound() int { return c.q }
+
+// Params exposes the pairing parameters.
+func (c *Con2) Params() *pairing.Params { return c.pr }
+
+// Encoder returns the element encoder (shared with verifiers).
+func (c *Con2) Encoder() ElementEncoder { return c.enc }
+
+// encode maps every occurrence of x into the integer domain, with
+// multiplicities preserved.
+func (c *Con2) encode(x multiset.Multiset) (map[int]int, error) {
+	out := make(map[int]int, x.Len())
+	for _, e := range x.Elements() {
+		v, err := c.enc.Encode(e)
+		if err != nil {
+			return nil, err
+		}
+		if v < 1 || v >= c.q {
+			return nil, fmt.Errorf("accumulator: encoder produced %d outside [1, %d)", v, c.q)
+		}
+		out[v] += x.Count(e)
+	}
+	return out, nil
+}
+
+// Setup implements Accumulator:
+// acc(X) = (g^{Σ m_i s^{x_i}}, g^{Σ m_i s^{q−x_i}}).
+func (c *Con2) Setup(x multiset.Multiset) (Acc, error) {
+	enc, err := c.encode(x)
+	if err != nil {
+		return Acc{}, err
+	}
+	da := c.pr.C.Infinity()
+	db := c.pr.C.Infinity()
+	for v, m := range enc {
+		mul := big.NewInt(int64(m))
+		da = c.pr.C.Add(da, c.pr.C.ScalarMul(c.pk[v], mul))
+		db = c.pr.C.Add(db, c.pr.C.ScalarMul(c.pk[c.q-v], mul))
+	}
+	return Acc{A: da, B: db}, nil
+}
+
+// ProveDisjoint implements Accumulator:
+// π = g^{A(X1)(s)·B(X2)(s)} = ∏_{i,j} g^{m_i·n_j·s^{q + x_i − x_j}}.
+// Every exponent index q + x_i − x_j lies in [2, 2q−2] and differs from
+// q exactly when x_i ≠ x_j — so the proof is computable from the
+// public key precisely for disjoint multisets.
+func (c *Con2) ProveDisjoint(x1, x2 multiset.Multiset) (Proof, error) {
+	e1, err := c.encode(x1)
+	if err != nil {
+		return Proof{}, err
+	}
+	e2, err := c.encode(x2)
+	if err != nil {
+		return Proof{}, err
+	}
+	for v := range e1 {
+		if e2[v] > 0 {
+			return Proof{}, ErrNotDisjoint
+		}
+	}
+	// Collect exponent-index multiplicities first so each distinct
+	// power costs a single scalar multiplication.
+	idx := make(map[int]int64, len(e1)*len(e2))
+	for v1, m1 := range e1 {
+		for v2, m2 := range e2 {
+			idx[c.q+v1-v2] += int64(m1) * int64(m2)
+		}
+	}
+	pi := c.pr.C.Infinity()
+	for i, m := range idx {
+		if i == c.q {
+			return Proof{}, ErrNotDisjoint // defensive: cannot happen after the check above
+		}
+		pi = c.pr.C.Add(pi, c.pr.C.ScalarMul(c.pk[i], big.NewInt(m)))
+	}
+	return Proof{F1: pi, F2: c.pr.C.Infinity()}, nil
+}
+
+// VerifyDisjoint implements Accumulator: ê(dA(X1), dB(X2)) =? ê(π, g).
+func (c *Con2) VerifyDisjoint(acc1, acc2 Acc, proof Proof) bool {
+	lhs := c.pr.Pair(acc1.A, acc2.B)
+	rhs := c.pr.Pair(proof.F1, c.pr.G)
+	return lhs.Equal(rhs)
+}
+
+// SupportsAgg implements Accumulator.
+func (c *Con2) SupportsAgg() bool { return true }
+
+// MaxCardinality implements Accumulator: the domain is bounded but
+// multiset cardinality is not.
+func (c *Con2) MaxCardinality() int { return -1 }
+
+// Sum implements Accumulator: acc(ΣX_i) = (∏ dA_i, ∏ dB_i).
+func (c *Con2) Sum(accs ...Acc) (Acc, error) {
+	out := Acc{A: c.pr.C.Infinity(), B: c.pr.C.Infinity()}
+	for _, a := range accs {
+		out.A = c.pr.C.Add(out.A, a.A)
+		out.B = c.pr.C.Add(out.B, a.B)
+	}
+	return out, nil
+}
+
+// ProofSum implements Accumulator: aggregates proofs π_i =
+// ProveDisjoint(X_i, Y) sharing the same second multiset Y into the
+// proof for (ΣX_i, Y). The caller is responsible for the shared-Y
+// precondition (the paper states it as a requirement on inputs).
+func (c *Con2) ProofSum(proofs ...Proof) (Proof, error) {
+	out := Proof{F1: c.pr.C.Infinity(), F2: c.pr.C.Infinity()}
+	for _, p := range proofs {
+		out.F1 = c.pr.C.Add(out.F1, p.F1)
+	}
+	return out, nil
+}
+
+// AccEqual implements Accumulator.
+func (c *Con2) AccEqual(a, b Acc) bool { return a.A.Equal(b.A) && a.B.Equal(b.B) }
+
+// ValidateAcc implements Accumulator.
+func (c *Con2) ValidateAcc(a Acc) bool {
+	return c.pr.C.IsOnCurve(a.A) && c.pr.C.IsOnCurve(a.B)
+}
+
+// ValidateProof implements Accumulator (Construction 2 uses only F1).
+func (c *Con2) ValidateProof(p Proof) bool { return c.pr.C.IsOnCurve(p.F1) }
+
+// AccBytes implements Accumulator.
+func (c *Con2) AccBytes(a Acc) []byte {
+	out := c.pr.C.Bytes(a.A)
+	return append(out, c.pr.C.Bytes(a.B)...)
+}
+
+// ProofBytes implements Accumulator.
+func (c *Con2) ProofBytes(p Proof) []byte { return c.pr.C.Bytes(p.F1) }

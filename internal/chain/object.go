@@ -1,0 +1,77 @@
+// Package chain implements the blockchain substrate underneath vChain:
+// temporal data objects, block headers extended with ADS commitments
+// (Fig. 4 / §6 of the paper), a proof-of-work miner, the full-node
+// chain store, and the light-node header store that query users run.
+//
+// The substrate is deliberately agnostic of *how* the ADS commitments
+// are computed — the vChain core packages build the intra-block index
+// and skip list and hand the resulting roots to the miner — so the
+// layering mirrors the paper: consensus does not depend on the ADS
+// scheme, only on the header bytes.
+package chain
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// Digest is the hash type used throughout the chain.
+type Digest = [sha256.Size]byte
+
+// ObjectID identifies an object within the whole chain.
+type ObjectID uint64
+
+// Object is a temporal object o = ⟨t, V, W⟩: a timestamp, a
+// multi-dimensional numeric attribute vector, and a set-valued
+// attribute (§3 of the paper).
+type Object struct {
+	// ID is a chain-unique identifier (assigned by the data source).
+	ID ObjectID
+	// TS is the object's timestamp (seconds).
+	TS int64
+	// V holds the numeric attributes.
+	V []int64
+	// W holds the set-valued attribute (keywords, addresses, …).
+	W []string
+}
+
+// Bytes returns the canonical encoding used for hashing. It is
+// length-prefixed throughout, so no two distinct objects share an
+// encoding.
+func (o Object) Bytes() []byte {
+	var buf []byte
+	var tmp [8]byte
+	put := func(v uint64) {
+		binary.BigEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	put(uint64(o.ID))
+	put(uint64(o.TS))
+	put(uint64(len(o.V)))
+	for _, v := range o.V {
+		put(uint64(v))
+	}
+	put(uint64(len(o.W)))
+	for _, w := range o.W {
+		put(uint64(len(w)))
+		buf = append(buf, w...)
+	}
+	return buf
+}
+
+// Hash returns the object digest committed into the block's index.
+func (o Object) Hash() Digest { return sha256.Sum256(o.Bytes()) }
+
+// Clone deep-copies the object.
+func (o Object) Clone() Object {
+	v := make([]int64, len(o.V))
+	copy(v, o.V)
+	w := make([]string, len(o.W))
+	copy(w, o.W)
+	return Object{ID: o.ID, TS: o.TS, V: v, W: w}
+}
+
+func (o Object) String() string {
+	return fmt.Sprintf("o%d⟨t=%d, V=%v, W=%v⟩", o.ID, o.TS, o.V, o.W)
+}

@@ -1,0 +1,65 @@
+package chain
+
+import "testing"
+
+func headersWithTS(ts ...int64) []Header {
+	out := make([]Header, len(ts))
+	for i, t := range ts {
+		out[i] = Header{Height: uint64(i), TS: t}
+	}
+	return out
+}
+
+func TestWindowByTime(t *testing.T) {
+	hs := headersWithTS(10, 20, 20, 30, 40)
+	cases := []struct {
+		ts, te     int64
+		start, end int
+		ok         bool
+	}{
+		{10, 40, 0, 4, true},  // whole chain
+		{20, 20, 1, 2, true},  // duplicate timestamps
+		{15, 35, 1, 3, true},  // interior
+		{0, 5, 0, 0, false},   // before genesis
+		{50, 60, 0, 0, false}, // after tip
+		{25, 25, 0, 0, false}, // between blocks
+		{40, 10, 0, 0, false}, // inverted
+		{10, 10, 0, 0, true},  // exact single
+		{35, 100, 4, 4, true}, // tail
+	}
+	for _, c := range cases {
+		start, end, ok := windowByTime(hs, c.ts, c.te)
+		if ok != c.ok || (ok && (start != c.start || end != c.end)) {
+			t.Errorf("[%d,%d]: got (%d,%d,%v), want (%d,%d,%v)",
+				c.ts, c.te, start, end, ok, c.start, c.end, c.ok)
+		}
+	}
+	if _, _, ok := windowByTime(nil, 0, 10); ok {
+		t.Error("empty chain should have no window")
+	}
+}
+
+func TestWindowByTimeOnStores(t *testing.T) {
+	s := NewStore(0)
+	for i := 0; i < 4; i++ {
+		h := Header{Height: uint64(i), TS: int64(100 + 10*i)}
+		if i > 0 {
+			h.PrevHash = s.Tip().Header.Hash()
+		}
+		if err := s.Append(&Block{Header: h}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start, end, ok := s.WindowByTime(105, 125)
+	if !ok || start != 1 || end != 2 {
+		t.Errorf("store window: (%d,%d,%v)", start, end, ok)
+	}
+	l := NewLightStore(0)
+	if err := l.Sync(s.Headers()); err != nil {
+		t.Fatal(err)
+	}
+	start, end, ok = l.WindowByTime(100, 130)
+	if !ok || start != 0 || end != 3 {
+		t.Errorf("light window: (%d,%d,%v)", start, end, ok)
+	}
+}

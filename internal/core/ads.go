@@ -1,0 +1,415 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"github.com/vchain-go/vchain/internal/accumulator"
+	"github.com/vchain-go/vchain/internal/chain"
+	"github.com/vchain-go/vchain/internal/multiset"
+)
+
+// IndexMode selects which authenticated indexes a block carries,
+// matching the three schemes of the evaluation (§9.1).
+type IndexMode int
+
+const (
+	// ModeNil builds only per-object AttDigests (the basic solution of
+	// §5): the SP must prove each object individually.
+	ModeNil IndexMode = iota
+	// ModeIntra adds the Jaccard-clustered intra-block Merkle index
+	// (§6.1), letting the SP prune whole subtrees.
+	ModeIntra
+	// ModeBoth additionally builds the inter-block skip list (§6.2),
+	// letting the SP prune whole runs of blocks.
+	ModeBoth
+)
+
+func (m IndexMode) String() string {
+	switch m {
+	case ModeNil:
+		return "nil"
+	case ModeIntra:
+		return "intra"
+	case ModeBoth:
+		return "both"
+	default:
+		return fmt.Sprintf("IndexMode(%d)", int(m))
+	}
+}
+
+// IntraNode is a node of the intra-block index (Defs. 6.1 and 6.2). In
+// ModeNil the tree still exists (it is the plain object Merkle tree of
+// Fig. 2) but internal nodes carry no attribute data and no digest.
+type IntraNode struct {
+	// Hash is the node hash: H(preHash ‖ accBytes) when the node
+	// carries a digest, preHash alone otherwise. See preHash below.
+	Hash chain.Digest
+	// W is the attribute multiset (union of children / object's W').
+	W multiset.Multiset
+	// Digest is acc(W); zero-valued for internal nodes in ModeNil.
+	Digest accumulator.Acc
+	// HasDigest reports whether Digest is meaningful.
+	HasDigest bool
+	// Left and Right are the children (nil for leaves).
+	Left, Right *IntraNode
+	// Obj is the underlying object for leaf nodes.
+	Obj *chain.Object
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *IntraNode) IsLeaf() bool { return n.Obj != nil }
+
+// preHash is the digest-independent part of a node hash:
+//
+//	leaf:     H(0x00 ‖ objectHash)
+//	internal: H(0x01 ‖ leftHash ‖ rightHash)
+//
+// The full node hash is H(0x02 ‖ preHash ‖ accBytes) when the node
+// carries a digest, else the preHash itself. Mismatch VO entries ship
+// the preHash, binding the digest into the Merkle root without
+// revealing the subtree.
+func leafPreHash(objHash chain.Digest) chain.Digest {
+	return sha256.Sum256(append([]byte{0x00}, objHash[:]...))
+}
+
+func internalPreHash(l, r chain.Digest) chain.Digest {
+	buf := make([]byte, 1, 1+2*len(l)+len(r))
+	buf[0] = 0x01
+	buf = append(buf, l[:]...)
+	buf = append(buf, r[:]...)
+	return sha256.Sum256(buf)
+}
+
+func nodeHash(pre chain.Digest, accBytes []byte) chain.Digest {
+	if accBytes == nil {
+		return pre
+	}
+	buf := make([]byte, 1, 1+len(pre)+len(accBytes))
+	buf[0] = 0x02
+	buf = append(buf, pre[:]...)
+	buf = append(buf, accBytes...)
+	return sha256.Sum256(buf)
+}
+
+// SkipEntry is one level of the inter-block skip list (§6.2) stored in
+// the block at height h: it aggregates the Distance blocks
+// [h−Distance+1, h] (multiset sum) and records the header hash of the
+// landing block h−Distance.
+type SkipEntry struct {
+	// Distance is the jump length (4, 8, 16, … — powers of two).
+	Distance int
+	// PrevHash is the header hash of block h−Distance, which the
+	// verifier checks against its own header store before jumping.
+	PrevHash chain.Digest
+	// W is the multiset sum over the covered blocks.
+	W multiset.Multiset
+	// Digest is acc(W).
+	Digest accumulator.Acc
+}
+
+// hashEntry is H(distance ‖ PrevHash ‖ accBytes) — the per-level leaf
+// of the SkipListRoot commitment.
+func (s *SkipEntry) hashEntry(acc accumulator.Accumulator) chain.Digest {
+	var buf []byte
+	var d8 [8]byte
+	binary.BigEndian.PutUint64(d8[:], uint64(s.Distance))
+	buf = append(buf, d8[:]...)
+	buf = append(buf, s.PrevHash[:]...)
+	buf = append(buf, acc.AccBytes(s.Digest)...)
+	return sha256.Sum256(buf)
+}
+
+// SkipEntryHash exposes the skip entry's commitment leaf for packages
+// that assemble skip VOs outside the SP (the subscription engine).
+func SkipEntryHash(s *SkipEntry, acc accumulator.Accumulator) chain.Digest {
+	return s.hashEntry(acc)
+}
+
+// SkipDistances returns the jump lengths for a skip list of the given
+// size: 4, 8, …, 2^(size+1), matching the maximum-jump annotation of
+// Figs. 20–22 (size 1 → max 4, size 3 → max 16, size 5 → max 64).
+func SkipDistances(size int) []int {
+	out := make([]int, 0, size)
+	for j := 0; j < size; j++ {
+		out = append(out, 1<<uint(j+2))
+	}
+	return out
+}
+
+// skipListRoot commits all entries in distance order.
+func skipListRoot(entries []SkipEntry, acc accumulator.Accumulator) chain.Digest {
+	var buf []byte
+	for i := range entries {
+		h := entries[i].hashEntry(acc)
+		buf = append(buf, h[:]...)
+	}
+	return sha256.Sum256(buf)
+}
+
+// BlockADS is the full authenticated payload of one block: the
+// intra-block index (or plain tree), the per-block attribute multiset,
+// and the skip entries. The miner builds it; the SP reads it; only its
+// two roots reach the header.
+type BlockADS struct {
+	// Height is the block height this ADS belongs to.
+	Height int
+	// Root is the intra-block index root.
+	Root *IntraNode
+	// BlockW is the block-level attribute multiset (union over
+	// objects' W'), the unit aggregated by skip entries.
+	BlockW multiset.Multiset
+	// BlockDigest is acc(BlockW) (equals Root.Digest in indexed modes).
+	BlockDigest accumulator.Acc
+	// Skips holds the inter-block entries (empty unless ModeBoth).
+	Skips []SkipEntry
+}
+
+// MerkleRoot returns the header commitment of the intra index.
+func (a *BlockADS) MerkleRoot() chain.Digest { return a.Root.Hash }
+
+// SkipListRoot returns the header commitment of the skip list (zero
+// when the block has no skip entries).
+func (a *BlockADS) SkipListRoot(acc accumulator.Accumulator) chain.Digest {
+	if len(a.Skips) == 0 {
+		return chain.Digest{}
+	}
+	return skipListRoot(a.Skips, acc)
+}
+
+// SizeBytes reports the ADS storage overhead of the block (Table 1's
+// "ADS size" column): all index node hashes and digests plus skip
+// entries, excluding the raw objects.
+func (a *BlockADS) SizeBytes(acc accumulator.Accumulator) int {
+	total := 0
+	var walk func(n *IntraNode)
+	walk = func(n *IntraNode) {
+		if n == nil {
+			return
+		}
+		total += len(n.Hash)
+		if n.HasDigest {
+			total += len(acc.AccBytes(n.Digest))
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(a.Root)
+	for i := range a.Skips {
+		total += 8 + len(a.Skips[i].PrevHash) + len(acc.AccBytes(a.Skips[i].Digest))
+	}
+	return total
+}
+
+// Builder constructs block ADSs for the miner.
+type Builder struct {
+	// Acc is the accumulator construction shared by the whole system.
+	Acc accumulator.Accumulator
+	// Mode selects the indexes to build.
+	Mode IndexMode
+	// SkipSize is the skip-list size ℓ (ModeBoth only).
+	SkipSize int
+	// Width is the numeric bit width for the prefix transform.
+	Width int
+	// NoCluster disables the Jaccard similarity clustering of Alg. 2
+	// and pairs leaves positionally instead. The index remains correct
+	// but prunes worse; this exists for the ablation benchmark that
+	// quantifies what the clustering heuristic buys.
+	NoCluster bool
+}
+
+// ChainView gives the builder read access to previously built blocks,
+// which the skip list aggregates over.
+type ChainView interface {
+	// ADSAt returns the ADS of the block at the height, or nil.
+	ADSAt(height int) *BlockADS
+	// HeaderAt returns the header at the height.
+	HeaderAt(height int) (chain.Header, error)
+}
+
+// BuildBlock constructs the ADS for a new block at the given height
+// from its objects. view supplies prior blocks for skip aggregation
+// (ignored unless ModeBoth).
+func (b *Builder) BuildBlock(height int, objs []chain.Object, view ChainView) (*BlockADS, error) {
+	if len(objs) == 0 {
+		return nil, fmt.Errorf("core: cannot build ADS for an empty block")
+	}
+	width := b.Width
+	if width <= 0 {
+		width = DefaultBitWidth
+	}
+
+	// Leaves: one per object, with W' = trans(V) + W and acc(W').
+	leaves := make([]*IntraNode, len(objs))
+	for i := range objs {
+		o := objs[i].Clone()
+		w := ObjectMultiset(o, width)
+		dig, err := b.Acc.Setup(w)
+		if err != nil {
+			return nil, fmt.Errorf("core: leaf digest for object %d: %w", o.ID, err)
+		}
+		pre := leafPreHash(o.Hash())
+		leaves[i] = &IntraNode{
+			Hash:      nodeHash(pre, b.Acc.AccBytes(dig)),
+			W:         w,
+			Digest:    dig,
+			HasDigest: true,
+			Obj:       &o,
+		}
+	}
+
+	indexed := b.Mode != ModeNil
+	root, err := b.buildTree(leaves, indexed, indexed && !b.NoCluster)
+	if err != nil {
+		return nil, err
+	}
+
+	// Block-level multiset: union across objects (it equals the intra
+	// root's W in indexed modes by construction).
+	blockW := multiset.Multiset{}
+	for _, l := range leaves {
+		blockW = multiset.Union(blockW, l.W)
+	}
+	var blockDig accumulator.Acc
+	if indexed {
+		blockDig = root.Digest
+	} else {
+		blockDig, err = b.Acc.Setup(blockW)
+		if err != nil {
+			return nil, fmt.Errorf("core: block digest: %w", err)
+		}
+	}
+
+	ads := &BlockADS{
+		Height:      height,
+		Root:        root,
+		BlockW:      blockW,
+		BlockDigest: blockDig,
+	}
+
+	if b.Mode == ModeBoth {
+		if err := b.buildSkips(ads, view); err != nil {
+			return nil, err
+		}
+	}
+	return ads, nil
+}
+
+// buildTree implements Algorithm 2: greedy bottom-up pairing. At every
+// level the unpaired node with the largest attribute multiset picks the
+// partner maximizing Jaccard similarity; pairs become parents of the
+// next level. In non-indexed mode the pairing is positional and
+// internal nodes carry no attribute data.
+func (b *Builder) buildTree(nodes []*IntraNode, indexed, cluster bool) (*IntraNode, error) {
+	for len(nodes) > 1 {
+		var next []*IntraNode
+		remaining := make([]*IntraNode, len(nodes))
+		copy(remaining, nodes)
+		for len(remaining) > 1 {
+			var nl *IntraNode
+			li := 0
+			if cluster {
+				// argmax |W|
+				for i, n := range remaining {
+					if nl == nil || n.W.Len() > nl.W.Len() {
+						nl, li = n, i
+					}
+				}
+			} else {
+				nl = remaining[0]
+			}
+			remaining = append(remaining[:li], remaining[li+1:]...)
+
+			var nr *IntraNode
+			ri := 0
+			if cluster {
+				best := -1.0
+				for i, n := range remaining {
+					j := multiset.Jaccard(nl.W, n.W)
+					if nr == nil || j > best {
+						nr, ri, best = n, i, j
+					}
+				}
+			} else {
+				nr = remaining[0]
+			}
+			remaining = append(remaining[:ri], remaining[ri+1:]...)
+
+			parent := &IntraNode{Left: nl, Right: nr}
+			pre := internalPreHash(nl.Hash, nr.Hash)
+			if indexed {
+				parent.W = multiset.Union(nl.W, nr.W)
+				dig, err := b.Acc.Setup(parent.W)
+				if err != nil {
+					return nil, fmt.Errorf("core: internal digest: %w", err)
+				}
+				parent.Digest = dig
+				parent.HasDigest = true
+				parent.Hash = nodeHash(pre, b.Acc.AccBytes(dig))
+			} else {
+				parent.Hash = pre
+			}
+			next = append(next, parent)
+		}
+		// A leftover odd node is carried to the next level unchanged.
+		nodes = append(next, remaining...)
+	}
+	return nodes[0], nil
+}
+
+// buildSkips constructs the skip entries for ads.Height. A distance-d
+// entry exists only when d prior-or-current blocks [h−d+1, h] all exist
+// (h−d ≥ −1 is not enough: the landing block h−d must exist too, except
+// for the exact-genesis landing d = h+1 which has no use and is
+// skipped).
+func (b *Builder) buildSkips(ads *BlockADS, view ChainView) error {
+	h := ads.Height
+	for _, d := range SkipDistances(b.SkipSize) {
+		land := h - d
+		if land < 0 {
+			continue
+		}
+		// Aggregate blocks [h-d+1, h]: the current block plus d−1
+		// predecessors.
+		sum := ads.BlockW.Clone()
+		accs := []accumulator.Acc{ads.BlockDigest}
+		ok := true
+		for j := h - d + 1; j < h; j++ {
+			prev := view.ADSAt(j)
+			if prev == nil {
+				ok = false
+				break
+			}
+			sum = multiset.Sum(sum, prev.BlockW)
+			accs = append(accs, prev.BlockDigest)
+		}
+		if !ok {
+			continue
+		}
+		var dig accumulator.Acc
+		var err error
+		if b.Acc.SupportsAgg() {
+			// acc2 reuses prior digests: one Sum instead of a fresh
+			// Setup — the reuse the paper credits for acc2's faster
+			// "both" construction time (§9.1).
+			dig, err = b.Acc.Sum(accs...)
+		} else {
+			dig, err = b.Acc.Setup(sum)
+		}
+		if err != nil {
+			return fmt.Errorf("core: skip digest at distance %d: %w", d, err)
+		}
+		hdr, err := view.HeaderAt(land)
+		if err != nil {
+			return fmt.Errorf("core: skip landing header %d: %w", land, err)
+		}
+		ads.Skips = append(ads.Skips, SkipEntry{
+			Distance: d,
+			PrevHash: hdr.Hash(),
+			W:        sum,
+			Digest:   dig,
+		})
+	}
+	return nil
+}

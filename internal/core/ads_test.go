@@ -1,0 +1,250 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/vchain-go/vchain/internal/accumulator"
+	"github.com/vchain-go/vchain/internal/chain"
+	"github.com/vchain-go/vchain/internal/multiset"
+	"github.com/vchain-go/vchain/internal/pairingtest"
+)
+
+func adsAcc(t testing.TB) accumulator.Accumulator {
+	t.Helper()
+	return accumulator.KeyGenCon2Deterministic(pairingtest.Params(), 512, accumulator.HashEncoder{Q: 512}, []byte("ads"))
+}
+
+func TestIndexModeString(t *testing.T) {
+	if ModeNil.String() != "nil" || ModeIntra.String() != "intra" || ModeBoth.String() != "both" {
+		t.Error("mode names wrong")
+	}
+	if IndexMode(9).String() == "" {
+		t.Error("unknown mode should still render")
+	}
+}
+
+func TestSkipDistances(t *testing.T) {
+	if len(SkipDistances(0)) != 0 {
+		t.Error("size 0 should have no skips")
+	}
+	d := SkipDistances(3)
+	want := []int{4, 8, 16}
+	if len(d) != 3 {
+		t.Fatalf("got %v", d)
+	}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("got %v want %v", d, want)
+		}
+	}
+}
+
+func TestBuildBlockSingleObject(t *testing.T) {
+	acc := adsAcc(t)
+	b := &Builder{Acc: acc, Mode: ModeIntra, Width: testWidth}
+	node := NewFullNode(0, b)
+	o := chain.Object{ID: 1, TS: 1, V: []int64{3}, W: []string{"solo"}}
+	ads, err := b.BuildBlock(0, []chain.Object{o}, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ads.Root.IsLeaf() {
+		t.Fatal("single-object block should have a leaf root")
+	}
+	if !ads.Root.HasDigest {
+		t.Fatal("leaf root must carry a digest")
+	}
+	if ads.MerkleRoot() == (chain.Digest{}) {
+		t.Fatal("zero root")
+	}
+}
+
+func TestBuildBlockOddCount(t *testing.T) {
+	acc := adsAcc(t)
+	b := &Builder{Acc: acc, Mode: ModeIntra, Width: testWidth}
+	node := NewFullNode(0, b)
+	objs := carObjects(0)[:3] // odd
+	ads, err := b.BuildBlock(0, objs, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count leaves.
+	leaves := 0
+	var walk func(n *IntraNode)
+	walk = func(n *IntraNode) {
+		if n == nil {
+			return
+		}
+		if n.IsLeaf() {
+			leaves++
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(ads.Root)
+	if leaves != 3 {
+		t.Fatalf("leaves %d, want 3", leaves)
+	}
+}
+
+func TestIntraNodeUnionInvariant(t *testing.T) {
+	// Every internal node's W must equal the union of its children's.
+	acc := adsAcc(t)
+	b := &Builder{Acc: acc, Mode: ModeIntra, Width: testWidth}
+	node := NewFullNode(0, b)
+	ads, err := b.BuildBlock(0, carObjects(0), node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walk func(n *IntraNode)
+	walk = func(n *IntraNode) {
+		if n == nil || n.IsLeaf() {
+			return
+		}
+		want := multiset.Union(n.Left.W, n.Right.W)
+		if !multiset.Equal(n.W, want) {
+			t.Fatalf("internal W %v != union %v", n.W, want)
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(ads.Root)
+}
+
+func TestModeNilInternalNodesHaveNoDigest(t *testing.T) {
+	acc := adsAcc(t)
+	b := &Builder{Acc: acc, Mode: ModeNil, Width: testWidth}
+	node := NewFullNode(0, b)
+	ads, err := b.BuildBlock(0, carObjects(0), node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walk func(n *IntraNode)
+	walk = func(n *IntraNode) {
+		if n == nil {
+			return
+		}
+		if n.IsLeaf() {
+			if !n.HasDigest {
+				t.Fatal("leaves always carry digests")
+			}
+		} else if n.HasDigest {
+			t.Fatal("ModeNil internal node carries a digest")
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(ads.Root)
+}
+
+func TestSkipEntriesAggregateCorrectly(t *testing.T) {
+	acc := adsAcc(t)
+	b := &Builder{Acc: acc, Mode: ModeBoth, SkipSize: 2, Width: testWidth}
+	node := NewFullNode(0, b)
+	for i := 0; i < 9; i++ {
+		if _, err := node.MineBlock(carObjects(uint64(i*10)), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ads := node.ADSAt(8)
+	if len(ads.Skips) != 2 { // distances 4 and 8
+		t.Fatalf("skips %d, want 2", len(ads.Skips))
+	}
+	for _, s := range ads.Skips {
+		// W must be the multiset sum over the covered blocks.
+		want := multiset.Multiset{}
+		for j := 8 - s.Distance + 1; j <= 8; j++ {
+			want = multiset.Sum(want, node.ADSAt(j).BlockW)
+		}
+		if !multiset.Equal(s.W, want) {
+			t.Fatalf("skip %d W mismatch", s.Distance)
+		}
+		// Digest must accumulate that sum.
+		direct, err := acc.Setup(s.W)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !acc.AccEqual(s.Digest, direct) {
+			t.Fatalf("skip %d digest != acc(W)", s.Distance)
+		}
+		// PrevHash must name the landing block.
+		hdr, err := node.HeaderAt(8 - s.Distance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.PrevHash != hdr.Hash() {
+			t.Fatalf("skip %d lands on the wrong block", s.Distance)
+		}
+	}
+	// Early blocks have no skips (not enough history).
+	if len(node.ADSAt(2).Skips) != 0 {
+		t.Error("block 2 should have no skips")
+	}
+	// Block 4 has exactly the distance-4 skip.
+	if got := node.ADSAt(4).Skips; len(got) != 1 || got[0].Distance != 4 {
+		t.Errorf("block 4 skips: %+v", got)
+	}
+}
+
+func TestBlockADSSizePositiveAndGrowsWithMode(t *testing.T) {
+	acc := adsAcc(t)
+	sizes := map[IndexMode]int{}
+	for _, mode := range []IndexMode{ModeNil, ModeIntra} {
+		b := &Builder{Acc: acc, Mode: mode, Width: testWidth}
+		node := NewFullNode(0, b)
+		ads, err := b.BuildBlock(0, carObjects(0), node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[mode] = ads.SizeBytes(acc)
+	}
+	if sizes[ModeNil] <= 0 {
+		t.Fatal("nil-mode ADS should still have size (leaf digests)")
+	}
+	if sizes[ModeIntra] <= sizes[ModeNil] {
+		t.Error("intra index should enlarge the ADS")
+	}
+}
+
+func TestSkipListRootZeroWithoutSkips(t *testing.T) {
+	acc := adsAcc(t)
+	b := &Builder{Acc: acc, Mode: ModeIntra, Width: testWidth}
+	node := NewFullNode(0, b)
+	ads, err := b.BuildBlock(0, carObjects(0), node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ads.SkipListRoot(acc) != (chain.Digest{}) {
+		t.Error("no-skip block should commit a zero SkipListRoot")
+	}
+}
+
+func TestJaccardClusteringGroupsSimilarObjects(t *testing.T) {
+	// Two pairs of near-identical objects: the clustering should pair
+	// them so that each internal node has high internal similarity.
+	acc := adsAcc(t)
+	b := &Builder{Acc: acc, Mode: ModeIntra, Width: testWidth}
+	node := NewFullNode(0, b)
+	objs := []chain.Object{
+		{ID: 1, TS: 1, V: []int64{1}, W: []string{"alpha", "beta", "gamma"}},
+		{ID: 2, TS: 1, V: []int64{9}, W: []string{"delta", "epsilon", "zeta"}},
+		{ID: 3, TS: 1, V: []int64{1}, W: []string{"alpha", "beta", "gamma"}},
+		{ID: 4, TS: 1, V: []int64{9}, W: []string{"delta", "epsilon", "zeta"}},
+	}
+	ads, err := b.BuildBlock(0, objs, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each level-1 node should contain a matched pair: its W size
+	// should equal a single object's (identical multisets union to
+	// themselves).
+	l, r := ads.Root.Left, ads.Root.Right
+	if l == nil || r == nil {
+		t.Fatal("unexpected tree shape")
+	}
+	oneObj := ObjectMultiset(objs[0], testWidth).Len()
+	if l.W.Len() != oneObj || r.W.Len() != oneObj {
+		t.Errorf("clustering failed: level-1 sizes %d and %d, want %d (perfect pairing)",
+			l.W.Len(), r.W.Len(), oneObj)
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/vchain-go/vchain/internal/accumulator"
+	"github.com/vchain-go/vchain/internal/chain"
+)
+
+// FullNode is a miner/SP node: the chain store plus the per-block ADS
+// bodies (only the roots of which live in headers). It implements
+// ChainView for the Builder and the SP.
+type FullNode struct {
+	// Store is the underlying block store.
+	Store *chain.Store
+	// Builder constructs the ADS for mined blocks.
+	Builder *Builder
+
+	mu   sync.RWMutex
+	adss []*BlockADS
+
+	// SetupStats accumulates miner-side ADS construction cost, feeding
+	// Table 1.
+	SetupStats SetupStats
+}
+
+// SetupStats aggregates ADS construction measurements.
+type SetupStats struct {
+	// Blocks is the number of blocks built.
+	Blocks int
+	// BuildTime is the total ADS construction time.
+	BuildTime time.Duration
+	// ADSBytes is the total ADS size.
+	ADSBytes int
+}
+
+// NewFullNode creates a node with the given proof-of-work difficulty
+// and ADS builder.
+func NewFullNode(difficulty chain.Difficulty, b *Builder) *FullNode {
+	return &FullNode{Store: chain.NewStore(difficulty), Builder: b}
+}
+
+// ADSAt implements ChainView.
+func (n *FullNode) ADSAt(height int) *BlockADS {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if height < 0 || height >= len(n.adss) {
+		return nil
+	}
+	return n.adss[height]
+}
+
+// HeaderAt implements ChainView.
+func (n *FullNode) HeaderAt(height int) (chain.Header, error) {
+	b, err := n.Store.BlockAt(height)
+	if err != nil {
+		return chain.Header{}, err
+	}
+	return b.Header, nil
+}
+
+// MineBlock builds the ADS for objs, solves proof-of-work, and appends
+// the block. It returns the new block.
+func (n *FullNode) MineBlock(objs []chain.Object, ts int64) (*chain.Block, error) {
+	height := n.Store.Height()
+
+	start := time.Now()
+	ads, err := n.Builder.BuildBlock(height, objs, n)
+	if err != nil {
+		return nil, fmt.Errorf("core: building ADS: %w", err)
+	}
+	buildTime := time.Since(start)
+
+	hdr := chain.Header{
+		Height:       uint64(height),
+		TS:           ts,
+		MerkleRoot:   ads.MerkleRoot(),
+		SkipListRoot: ads.SkipListRoot(n.Builder.Acc),
+	}
+	if tip := n.Store.Tip(); tip != nil {
+		hdr.PrevHash = tip.Header.Hash()
+		if ts < tip.Header.TS {
+			hdr.TS = tip.Header.TS
+		}
+	}
+	solved, err := chain.SolvePoW(hdr, n.Store.Difficulty())
+	if err != nil {
+		return nil, err
+	}
+	blk := &chain.Block{Header: solved, Objects: objs}
+	if err := n.Store.Append(blk); err != nil {
+		return nil, err
+	}
+
+	n.mu.Lock()
+	n.adss = append(n.adss, ads)
+	n.SetupStats.Blocks++
+	n.SetupStats.BuildTime += buildTime
+	n.SetupStats.ADSBytes += ads.SizeBytes(n.Builder.Acc)
+	n.mu.Unlock()
+	return blk, nil
+}
+
+// SP returns a query engine over this node's chain.
+func (n *FullNode) SP(batch bool) *SP {
+	return &SP{Acc: n.Builder.Acc, View: n, Batch: batch}
+}
+
+// SPWith returns a query engine with an explicit proof-worker count.
+func (n *FullNode) SPWith(batch bool, parallelism int) *SP {
+	return &SP{Acc: n.Builder.Acc, View: n, Batch: batch, Parallelism: parallelism}
+}
+
+// Acc exposes the node's accumulator (public part) for verifiers.
+func (n *FullNode) Acc() accumulator.Accumulator { return n.Builder.Acc }
+
+// Height returns the chain height.
+func (n *FullNode) Height() int { return n.Store.Height() }

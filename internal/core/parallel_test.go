@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestParallelSPMatchesSequential checks that a parallel SP produces a
+// VO that verifies identically and returns the same results.
+func TestParallelSPMatchesSequential(t *testing.T) {
+	for accName, acc := range testAccs(t) {
+		for _, mode := range []IndexMode{ModeIntra, ModeBoth} {
+			t.Run(fmt.Sprintf("%s/%v", accName, mode), func(t *testing.T) {
+				node, light := buildTestChain(t, acc, mode, 5)
+				q := sedanBenzQuery(0, 4)
+
+				seq, err := node.SP(false).TimeWindowQuery(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				par, err := node.SPWith(false, 4).TimeWindowQuery(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ver := &Verifier{Acc: acc, Light: light}
+				rSeq, err := ver.VerifyTimeWindow(q, seq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rPar, err := ver.VerifyTimeWindow(q, par)
+				if err != nil {
+					t.Fatalf("parallel VO rejected: %v", err)
+				}
+				if len(rSeq) != len(rPar) {
+					t.Fatalf("results differ: %d vs %d", len(rSeq), len(rPar))
+				}
+				for i := range rSeq {
+					if rSeq[i].ID != rPar[i].ID {
+						t.Fatal("result order differs")
+					}
+				}
+				// Same VO transfer size (structure must be identical).
+				if seq.SizeBytes(acc) != par.SizeBytes(acc) {
+					t.Errorf("VO sizes differ: %d vs %d", seq.SizeBytes(acc), par.SizeBytes(acc))
+				}
+			})
+		}
+	}
+}
+
+// TestParallelSPWithBatch combines §6.3 batching with the worker pool.
+func TestParallelSPWithBatch(t *testing.T) {
+	acc := testAccs(t)["acc2"]
+	node, light := buildTestChain(t, acc, ModeIntra, 4)
+	q := sedanBenzQuery(0, 3)
+	vo, err := node.SPWith(true, 3).TimeWindowQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vo.Groups) == 0 {
+		t.Fatal("batching lost under parallelism")
+	}
+	if _, err := (&Verifier{Acc: acc, Light: light}).VerifyTimeWindow(q, vo); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelSPNoResults exercises the skip-heavy all-mismatch path.
+func TestParallelSPNoResults(t *testing.T) {
+	acc := testAccs(t)["acc2"]
+	node, light := buildTestChain(t, acc, ModeBoth, 8)
+	q := Query{StartBlock: 0, EndBlock: 7, Bool: CNF{KeywordClause("tesla")}, Width: testWidth}
+	vo, err := node.SPWith(false, 4).TimeWindowQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (&Verifier{Acc: acc, Light: light}).VerifyTimeWindow(q, vo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatal("phantom results")
+	}
+}

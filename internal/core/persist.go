@@ -1,0 +1,96 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/vchain-go/vchain/internal/chain"
+)
+
+// snapshot is the on-disk representation of a full node's state: the
+// raw blocks plus the ADS bodies (which are expensive to rebuild — a
+// Table 1 cost per block). The accumulator public key is NOT part of
+// the snapshot; it is deployment configuration.
+type snapshot struct {
+	Blocks []*chain.Block
+	ADSs   []*BlockADS
+}
+
+// Save serializes the node's chain and ADS bodies to w.
+func (n *FullNode) Save(w io.Writer) error {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	snap := snapshot{ADSs: n.adss}
+	for h := 0; h < n.Store.Height(); h++ {
+		b, err := n.Store.BlockAt(h)
+		if err != nil {
+			return err
+		}
+		snap.Blocks = append(snap.Blocks, b)
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("core: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// SaveFile writes the node state to a file.
+func (n *FullNode) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := n.Save(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// Load restores a node from r into this (empty) node, re-validating
+// every block against the store's difficulty and linkage rules and
+// checking that the persisted ADS roots match the header commitments —
+// a corrupted or tampered snapshot is rejected.
+func (n *FullNode) Load(r io.Reader) error {
+	if n.Store.Height() != 0 {
+		return fmt.Errorf("core: Load requires an empty node")
+	}
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	if len(snap.Blocks) != len(snap.ADSs) {
+		return fmt.Errorf("core: snapshot has %d blocks but %d ADSs", len(snap.Blocks), len(snap.ADSs))
+	}
+	for i, b := range snap.Blocks {
+		ads := snap.ADSs[i]
+		if ads == nil || ads.Root == nil {
+			return fmt.Errorf("core: snapshot block %d missing ADS", i)
+		}
+		if ads.MerkleRoot() != b.Header.MerkleRoot {
+			return fmt.Errorf("core: snapshot block %d ADS root does not match header", i)
+		}
+		if got := ads.SkipListRoot(n.Builder.Acc); got != b.Header.SkipListRoot {
+			return fmt.Errorf("core: snapshot block %d skip root does not match header", i)
+		}
+		if err := n.Store.Append(b); err != nil {
+			return fmt.Errorf("core: snapshot block %d rejected: %w", i, err)
+		}
+		n.mu.Lock()
+		n.adss = append(n.adss, ads)
+		n.mu.Unlock()
+	}
+	return nil
+}
+
+// LoadFile restores node state from a file.
+func (n *FullNode) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return n.Load(f)
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"path/filepath"
+	"testing"
+
+	"github.com/vchain-go/vchain/internal/chain"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	acc := testAccs(t)["acc2"]
+	node, light := buildTestChain(t, acc, ModeBoth, 5)
+
+	var buf bytes.Buffer
+	if err := node.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := NewFullNode(0, node.Builder)
+	if err := restored.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Height() != node.Height() {
+		t.Fatalf("restored height %d, want %d", restored.Height(), node.Height())
+	}
+
+	// The restored node must answer verifiable queries identically.
+	q := sedanBenzQuery(0, 4)
+	vo, err := restored.SP(false).TimeWindowQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := (&Verifier{Acc: acc, Light: light}).VerifyTimeWindow(q, vo)
+	if err != nil {
+		t.Fatalf("restored node's VO rejected: %v", err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("results %d, want 5", len(results))
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	acc := testAccs(t)["acc1"]
+	node, _ := buildTestChain(t, acc, ModeIntra, 2)
+	path := filepath.Join(t.TempDir(), "chain.gob")
+	if err := node.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewFullNode(0, node.Builder)
+	if err := restored.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Height() != 2 {
+		t.Fatal("file round trip lost blocks")
+	}
+	if err := restored.LoadFile(path); err == nil {
+		t.Error("loading into a non-empty node should fail")
+	}
+	if err := NewFullNode(0, node.Builder).LoadFile(path + ".missing"); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestLoadRejectsTamperedSnapshot(t *testing.T) {
+	acc := testAccs(t)["acc2"]
+	node, _ := buildTestChain(t, acc, ModeIntra, 3)
+
+	// Tamper with an object inside the snapshot: the persisted ADS root
+	// still matches the header, but the block content diverges from the
+	// header's committed MerkleRoot... the chain linkage still holds, so
+	// the detection point is the ADS/header cross-check or, for object
+	// payloads, later query verification. Here we corrupt the ADS root
+	// relation directly.
+	var buf bytes.Buffer
+	if err := node.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Swap two blocks' ADSs: roots will not match their headers.
+	restored := NewFullNode(0, node.Builder)
+	var snap snapshot
+	decodeInto(t, buf.Bytes(), &snap)
+	snap.ADSs[0], snap.ADSs[1] = snap.ADSs[1], snap.ADSs[0]
+	var buf2 bytes.Buffer
+	encodeFrom(t, &buf2, &snap)
+	if err := restored.Load(&buf2); err == nil {
+		t.Fatal("tampered snapshot accepted")
+	}
+
+	// Mismatched lengths.
+	var snap2 snapshot
+	decodeInto(t, buf.Bytes(), &snap2)
+	snap2.ADSs = snap2.ADSs[:1]
+	var buf3 bytes.Buffer
+	encodeFrom(t, &buf3, &snap2)
+	if err := NewFullNode(0, node.Builder).Load(&buf3); err == nil {
+		t.Fatal("truncated ADS list accepted")
+	}
+
+	// Garbage bytes.
+	if err := NewFullNode(0, node.Builder).Load(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+}
+
+func decodeInto(t *testing.T, b []byte, snap *snapshot) {
+	t.Helper()
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(snap); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func encodeFrom(t *testing.T, buf *bytes.Buffer, snap *snapshot) {
+	t.Helper()
+	if err := gob.NewEncoder(buf).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveLoadEmptyChainBehaviour(t *testing.T) {
+	acc := testAccs(t)["acc2"]
+	b := &Builder{Acc: acc, Mode: ModeIntra, Width: testWidth}
+	node := NewFullNode(0, b)
+	var buf bytes.Buffer
+	if err := node.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewFullNode(0, b)
+	if err := restored.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Height() != 0 {
+		t.Fatal("empty chain round trip gained blocks")
+	}
+	_ = chain.Digest{} // keep the chain import for the helper file
+}

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/vchain-go/vchain/internal/accumulator"
+	"github.com/vchain-go/vchain/internal/chain"
+	"github.com/vchain-go/vchain/internal/multiset"
+)
+
+// SP is the service provider's query engine: a full node that answers
+// time-window queries with verification objects. It reads blocks and
+// their ADSs through a ChainView plus object access.
+type SP struct {
+	// Acc is the shared accumulator construction.
+	Acc accumulator.Accumulator
+	// View provides blocks' ADSs and headers.
+	View ChainView
+	// Batch enables online batch verification (§6.3): mismatch proofs
+	// sharing a clause are aggregated with Sum/ProofSum. Requires an
+	// aggregating accumulator (acc2); silently ignored otherwise.
+	Batch bool
+	// Parallelism sets the proof-computation worker count (the paper's
+	// SP runs 24 hyper-threads). Values ≤ 1 compute proofs inline.
+	// Disjointness proofs dominate SP CPU, so this is where threads pay.
+	Parallelism int
+}
+
+// proofTask is a deferred ProveDisjoint call scheduled during VO
+// construction and executed by the worker pool.
+type proofTask struct {
+	w      multiset.Multiset
+	clause Clause
+	assign func(accumulator.Proof)
+}
+
+// scheduler collects proof tasks when the SP runs parallel.
+type scheduler struct {
+	tasks []proofTask
+}
+
+func (s *scheduler) add(w multiset.Multiset, clause Clause, assign func(accumulator.Proof)) {
+	s.tasks = append(s.tasks, proofTask{w: w, clause: clause, assign: assign})
+}
+
+// run executes all tasks on `workers` goroutines. The first error wins.
+func (s *scheduler) run(acc accumulator.Accumulator, workers int) error {
+	if len(s.tasks) == 0 {
+		return nil
+	}
+	if workers > len(s.tasks) {
+		workers = len(s.tasks)
+	}
+	type result struct {
+		idx int
+		pf  accumulator.Proof
+		err error
+	}
+	jobs := make(chan int)
+	results := make(chan result, len(s.tasks))
+	for w := 0; w < workers; w++ {
+		go func() {
+			for idx := range jobs {
+				t := &s.tasks[idx]
+				pf, err := acc.ProveDisjoint(t.w, t.clause.Multiset())
+				results <- result{idx: idx, pf: pf, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := range s.tasks {
+			jobs <- i
+		}
+		close(jobs)
+	}()
+	var firstErr error
+	for range s.tasks {
+		r := <-results
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: parallel proof: %w", r.err)
+			}
+			continue
+		}
+		s.tasks[r.idx].assign(r.pf)
+	}
+	return firstErr
+}
+
+// canProve pre-checks that a deferred disjointness proof will succeed
+// (capacity-wise) so skip decisions can be made before proofs exist.
+func canProve(acc accumulator.Accumulator, w multiset.Multiset, clause Clause) bool {
+	if max := acc.MaxCardinality(); max >= 0 {
+		if w.Cardinality() > max || len(clause) > max {
+			return false
+		}
+	}
+	return true
+}
+
+// batcher accumulates same-clause mismatches across the whole query.
+type batcher struct {
+	acc    accumulator.Accumulator
+	groups map[string]*batchGroup
+	order  []string
+}
+
+type batchGroup struct {
+	clause Clause
+	w      multiset.Multiset
+	nodes  []*NodeVO
+	index  int
+}
+
+func newBatcher(acc accumulator.Accumulator) *batcher {
+	return &batcher{acc: acc, groups: map[string]*batchGroup{}}
+}
+
+// add registers a mismatching node into its clause group.
+func (b *batcher) add(n *NodeVO, w multiset.Multiset, clause Clause) {
+	k := clause.Key()
+	g, ok := b.groups[k]
+	if !ok {
+		g = &batchGroup{clause: clause, w: multiset.Multiset{}, index: len(b.order)}
+		b.groups[k] = g
+		b.order = append(b.order, k)
+	}
+	g.w = multiset.Sum(g.w, w)
+	g.nodes = append(g.nodes, n)
+	n.Group = g.index
+}
+
+// finalize computes one aggregated proof per group and returns them in
+// insertion order. With a scheduler, proof computation is deferred to
+// the worker pool.
+func (b *batcher) finalize(sched *scheduler) ([]MismatchGroup, error) {
+	out := make([]MismatchGroup, len(b.order))
+	for _, k := range b.order {
+		g := b.groups[k]
+		out[g.index] = MismatchGroup{Clause: g.clause}
+		if sched != nil {
+			idx := g.index
+			sched.add(g.w, g.clause, func(pf accumulator.Proof) { out[idx].Proof = pf })
+			continue
+		}
+		pf, err := b.acc.ProveDisjoint(g.w, g.clause.Multiset())
+		if err != nil {
+			return nil, fmt.Errorf("core: batched proof for clause %v: %w", g.clause, err)
+		}
+		out[g.index].Proof = pf
+	}
+	return out, nil
+}
+
+// TimeWindowQuery processes q over [q.StartBlock, q.EndBlock] and
+// returns the VO (Alg. 4 with Alg. 3 inside, or the basic per-object
+// Alg. 1 when no index exists). The result set is embedded in the VO
+// (VO.Results()).
+func (sp *SP) TimeWindowQuery(q Query) (*VO, error) {
+	cnf, err := q.CNF()
+	if err != nil {
+		return nil, err
+	}
+	if q.StartBlock < 0 || q.EndBlock < q.StartBlock {
+		return nil, fmt.Errorf("core: invalid block window [%d, %d]", q.StartBlock, q.EndBlock)
+	}
+	vo := &VO{}
+	var batch *batcher
+	if sp.Batch && sp.Acc.SupportsAgg() {
+		batch = newBatcher(sp.Acc)
+	}
+	var sched *scheduler
+	if sp.Parallelism > 1 {
+		sched = &scheduler{}
+	}
+
+	h := q.EndBlock
+	for h >= q.StartBlock {
+		ads := sp.View.ADSAt(h)
+		if ads == nil {
+			return nil, fmt.Errorf("core: no ADS at height %d", h)
+		}
+		// Try the largest usable skip first (Alg. 4): it must stay
+		// inside the window and its aggregated multiset must mismatch
+		// some clause.
+		if skip := sp.trySkip(ads, cnf, q.StartBlock, sched); skip != nil {
+			vo.Blocks = append(vo.Blocks, BlockVO{Height: h, Skip: skip})
+			h -= skip.Distance
+			continue
+		}
+		tree, err := sp.blockTreeVO(ads, cnf, batch, sched)
+		if err != nil {
+			return nil, err
+		}
+		vo.Blocks = append(vo.Blocks, BlockVO{Height: h, Tree: tree})
+		h--
+	}
+
+	if batch != nil {
+		groups, err := batch.finalize(sched)
+		if err != nil {
+			return nil, err
+		}
+		vo.Groups = groups
+	}
+	if sched != nil {
+		if err := sched.run(sp.Acc, sp.Parallelism); err != nil {
+			return nil, err
+		}
+	}
+	return vo, nil
+}
+
+// trySkip returns the largest skip at ads.Height that stays within the
+// window and is provably disjoint from some clause, or nil.
+func (sp *SP) trySkip(ads *BlockADS, cnf CNF, startBlock int, sched *scheduler) *SkipVO {
+	for i := len(ads.Skips) - 1; i >= 0; i-- {
+		entry := &ads.Skips[i]
+		if ads.Height-entry.Distance+1 < startBlock {
+			continue // would overshoot the window
+		}
+		clause, ok := cnf.FindMismatch(entry.W)
+		if !ok {
+			continue
+		}
+		if !canProve(sp.Acc, entry.W, clause) {
+			// Over the key's capacity: fall back to smaller skips or
+			// per-block processing rather than failing the query.
+			continue
+		}
+		out := &SkipVO{
+			Distance: entry.Distance,
+			Clause:   clause,
+			Digest:   entry.Digest,
+			PrevHash: entry.PrevHash,
+		}
+		if sched != nil {
+			sched.add(entry.W, clause, func(pf accumulator.Proof) { out.Proof = pf })
+		} else {
+			pf, err := sp.Acc.ProveDisjoint(entry.W, clause.Multiset())
+			if err != nil {
+				continue // e.g. hash collision: try a smaller skip
+			}
+			out.Proof = pf
+		}
+		siblings := make(map[int]chain.Digest, len(ads.Skips)-1)
+		for j := range ads.Skips {
+			if j == i {
+				continue
+			}
+			siblings[ads.Skips[j].Distance] = ads.Skips[j].hashEntry(sp.Acc)
+		}
+		out.Siblings = siblings
+		return out
+	}
+	return nil
+}
+
+// BlockTreeVO runs the single-block traversal (Alg. 3) and returns its
+// tree VO. The subscription engine publishes these for matching blocks.
+func (sp *SP) BlockTreeVO(ads *BlockADS, cnf CNF) (*NodeVO, error) {
+	return sp.blockTreeVO(ads, cnf, nil, nil)
+}
+
+// RootMismatchVO builds the block-level mismatch entry subscriptions
+// publish when an entire block provably misses a clause: the root's
+// digest, pre-hash, and a disjointness proof. It returns nil when the
+// root carries no digest (ModeNil), in which case the caller must fall
+// back to a full traversal.
+func RootMismatchVO(ads *BlockADS, clause Clause, pf accumulator.Proof) *NodeVO {
+	root := ads.Root
+	if !root.HasDigest {
+		return nil
+	}
+	var pre chain.Digest
+	if root.IsLeaf() {
+		pre = leafPreHash(root.Obj.Hash())
+	} else {
+		pre = internalPreHash(root.Left.Hash, root.Right.Hash)
+	}
+	return &NodeVO{
+		Kind:      KindMismatch,
+		Digest:    root.Digest,
+		HasDigest: true,
+		PreHash:   pre,
+		Clause:    clause,
+		Proof:     &pf,
+		Group:     -1,
+	}
+}
+
+// blockTreeVO runs Alg. 3 over one block's intra index (which in
+// ModeNil is the plain tree whose internal nodes carry no digests, so
+// traversal always reaches the leaves).
+func (sp *SP) blockTreeVO(ads *BlockADS, cnf CNF, batch *batcher, sched *scheduler) (*NodeVO, error) {
+	var build func(n *IntraNode) (*NodeVO, error)
+	build = func(n *IntraNode) (*NodeVO, error) {
+		// Prunable node: carries a digest and mismatches some clause.
+		if n.HasDigest {
+			if clause, bad := cnf.FindMismatch(n.W); bad {
+				out := &NodeVO{
+					Kind:      KindMismatch,
+					Digest:    n.Digest,
+					HasDigest: true,
+					Clause:    clause,
+					Group:     -1,
+				}
+				if n.IsLeaf() {
+					out.PreHash = leafPreHash(n.Obj.Hash())
+				} else {
+					out.PreHash = internalPreHash(n.Left.Hash, n.Right.Hash)
+				}
+				switch {
+				case batch != nil:
+					batch.add(out, n.W, clause)
+				case sched != nil:
+					sched.add(n.W, clause, func(pf accumulator.Proof) { out.Proof = &pf })
+				default:
+					pf, err := sp.Acc.ProveDisjoint(n.W, clause.Multiset())
+					if err != nil {
+						return nil, fmt.Errorf("core: mismatch proof: %w", err)
+					}
+					out.Proof = &pf
+				}
+				return out, nil
+			}
+		}
+		if n.IsLeaf() {
+			// The leaf's multiset matches the whole CNF: a result.
+			obj := n.Obj.Clone()
+			return &NodeVO{
+				Kind:      KindResult,
+				Obj:       &obj,
+				Digest:    n.Digest,
+				HasDigest: n.HasDigest,
+				Group:     -1,
+			}, nil
+		}
+		l, err := build(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := build(n.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &NodeVO{
+			Kind:      KindExpand,
+			Digest:    n.Digest,
+			HasDigest: n.HasDigest,
+			Left:      l,
+			Right:     r,
+			Group:     -1,
+		}, nil
+	}
+	return build(ads.Root)
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"github.com/vchain-go/vchain/internal/accumulator"
+	"github.com/vchain-go/vchain/internal/chain"
+)
+
+// Verification failures. Every rejected VO maps onto one of these so
+// callers (and tests) can distinguish soundness from completeness
+// violations.
+var (
+	// ErrSoundness flags a tampered object, a non-matching result, or a
+	// disjointness proof that does not verify.
+	ErrSoundness = errors.New("vchain: soundness violation")
+	// ErrCompleteness flags a VO that fails to cover the query window
+	// or whose hashes do not reconstruct the committed roots.
+	ErrCompleteness = errors.New("vchain: completeness violation")
+)
+
+// Verifier is the light-node result checker. It trusts only the header
+// store (synced and PoW-validated) and the accumulator public key.
+type Verifier struct {
+	// Acc is the shared accumulator construction (public part).
+	Acc accumulator.Accumulator
+	// Light is the user's header store.
+	Light *chain.LightStore
+}
+
+// VerifyTimeWindow checks a VO against q and the light headers,
+// returning the verified result set. Any mismatch between the VO and
+// the committed chain state yields an error; a nil error certifies both
+// soundness and completeness of the returned objects.
+func (v *Verifier) VerifyTimeWindow(q Query, vo *VO) ([]chain.Object, error) {
+	cnf, err := q.CNF()
+	if err != nil {
+		return nil, err
+	}
+	if q.EndBlock >= v.Light.Height() {
+		return nil, fmt.Errorf("%w: window end %d beyond synced headers (%d)",
+			ErrCompleteness, q.EndBlock, v.Light.Height())
+	}
+
+	// Batched groups: collect member digests during traversal, verify
+	// each group once at the end.
+	groupDigests := make([][]accumulator.Acc, len(vo.Groups))
+
+	var results []chain.Object
+	h := q.EndBlock
+	idx := 0
+	for h >= q.StartBlock {
+		if idx >= len(vo.Blocks) {
+			return nil, fmt.Errorf("%w: VO ends at height %d but window starts at %d",
+				ErrCompleteness, h+1, q.StartBlock)
+		}
+		bvo := &vo.Blocks[idx]
+		idx++
+		if bvo.Height != h {
+			return nil, fmt.Errorf("%w: VO covers height %d, expected %d",
+				ErrCompleteness, bvo.Height, h)
+		}
+		hdr, err := v.Light.HeaderAt(h)
+		if err != nil {
+			return nil, fmt.Errorf("%w: missing header %d", ErrCompleteness, h)
+		}
+		switch {
+		case bvo.Skip != nil:
+			if err := v.verifySkip(bvo.Skip, h, hdr, cnf); err != nil {
+				return nil, err
+			}
+			h -= bvo.Skip.Distance
+		case bvo.Tree != nil:
+			objs, err := v.verifyTree(bvo.Tree, hdr, cnf, q, groupDigests, vo)
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, objs...)
+			h--
+		default:
+			return nil, fmt.Errorf("%w: empty VO entry at height %d", ErrCompleteness, h)
+		}
+	}
+	if idx != len(vo.Blocks) {
+		return nil, fmt.Errorf("%w: %d surplus VO entries", ErrCompleteness, len(vo.Blocks)-idx)
+	}
+
+	// Verify batched groups: sum the member digests and check one
+	// aggregated proof per clause (§6.3).
+	for gi, g := range vo.Groups {
+		if len(groupDigests[gi]) == 0 {
+			continue // group never referenced; harmless padding
+		}
+		if !cnf.ContainsClause(g.Clause) {
+			return nil, fmt.Errorf("%w: batch group %d proves a foreign clause", ErrSoundness, gi)
+		}
+		if !v.Acc.ValidateProof(g.Proof) {
+			return nil, fmt.Errorf("%w: malformed batched proof in group %d", ErrSoundness, gi)
+		}
+		sum, err := v.Acc.Sum(groupDigests[gi]...)
+		if err != nil {
+			return nil, fmt.Errorf("%w: batch group %d: %v", ErrSoundness, gi, err)
+		}
+		clAcc, err := v.Acc.Setup(g.Clause.Multiset())
+		if err != nil {
+			return nil, fmt.Errorf("core: clause accumulation: %w", err)
+		}
+		if !v.Acc.VerifyDisjoint(sum, clAcc, g.Proof) {
+			return nil, fmt.Errorf("%w: batched disjointness proof for group %d rejected", ErrSoundness, gi)
+		}
+	}
+	return results, nil
+}
+
+// verifySkip checks an inter-block jump: proof validity, clause
+// membership, SkipListRoot reconstruction, and landing-hash agreement
+// with the local headers.
+func (v *Verifier) verifySkip(s *SkipVO, height int, hdr chain.Header, cnf CNF) error {
+	if !cnf.ContainsClause(s.Clause) {
+		return fmt.Errorf("%w: skip at %d proves a foreign clause", ErrSoundness, height)
+	}
+	if !v.Acc.ValidateAcc(s.Digest) || !v.Acc.ValidateProof(s.Proof) {
+		return fmt.Errorf("%w: malformed group elements in skip at %d", ErrSoundness, height)
+	}
+	clAcc, err := v.Acc.Setup(s.Clause.Multiset())
+	if err != nil {
+		return fmt.Errorf("core: clause accumulation: %w", err)
+	}
+	if !v.Acc.VerifyDisjoint(s.Digest, clAcc, s.Proof) {
+		return fmt.Errorf("%w: skip disjointness proof at %d rejected", ErrSoundness, height)
+	}
+	// Reconstruct SkipListRoot from this entry plus sibling hashes.
+	entry := SkipEntry{Distance: s.Distance, PrevHash: s.PrevHash, Digest: s.Digest}
+	hashes := map[int]chain.Digest{s.Distance: entry.hashEntry(v.Acc)}
+	for d, hash := range s.Siblings {
+		if d == s.Distance {
+			return fmt.Errorf("%w: duplicate skip distance %d in VO", ErrCompleteness, d)
+		}
+		hashes[d] = hash
+	}
+	root := combineSkipHashes(hashes)
+	if root != hdr.SkipListRoot {
+		return fmt.Errorf("%w: SkipListRoot mismatch at height %d", ErrCompleteness, height)
+	}
+	// The jump must land where the chain says block height−Distance is.
+	land := height - s.Distance
+	if land >= 0 {
+		landHdr, err := v.Light.HeaderAt(land)
+		if err != nil {
+			return fmt.Errorf("%w: missing landing header %d", ErrCompleteness, land)
+		}
+		if landHdr.Hash() != s.PrevHash {
+			return fmt.Errorf("%w: skip at %d lands on a foreign block", ErrCompleteness, height)
+		}
+	}
+	return nil
+}
+
+// combineSkipHashes rebuilds the SkipListRoot preimage in ascending
+// distance order.
+func combineSkipHashes(hashes map[int]chain.Digest) chain.Digest {
+	ds := make([]int, 0, len(hashes))
+	for d := range hashes {
+		ds = append(ds, d)
+	}
+	sortInts(ds)
+	var buf []byte
+	for _, d := range ds {
+		h := hashes[d]
+		buf = append(buf, h[:]...)
+	}
+	return sha256Sum(buf)
+}
+
+// verifyTree replays one block's NodeVO: recomputes the Merkle root,
+// checks every mismatch proof (or registers it with its batch group),
+// and validates every result object against the raw query predicate.
+func (v *Verifier) verifyTree(root *NodeVO, hdr chain.Header, cnf CNF, q Query,
+	groupDigests [][]accumulator.Acc, vo *VO) ([]chain.Object, error) {
+
+	var results []chain.Object
+	var walk func(n *NodeVO) (chain.Digest, error)
+	walk = func(n *NodeVO) (chain.Digest, error) {
+		switch n.Kind {
+		case KindResult:
+			if n.Obj == nil {
+				return chain.Digest{}, fmt.Errorf("%w: result node without object", ErrSoundness)
+			}
+			// Soundness: the object must actually satisfy the query.
+			if !q.MatchesObject(n.Obj.V, n.Obj.W) {
+				return chain.Digest{}, fmt.Errorf("%w: returned object %d does not satisfy the query",
+					ErrSoundness, n.Obj.ID)
+			}
+			results = append(results, n.Obj.Clone())
+			pre := leafPreHash(n.Obj.Hash())
+			if n.HasDigest {
+				return nodeHash(pre, v.Acc.AccBytes(n.Digest)), nil
+			}
+			return pre, nil
+
+		case KindMismatch:
+			if !n.HasDigest {
+				return chain.Digest{}, fmt.Errorf("%w: mismatch node without digest", ErrSoundness)
+			}
+			if !cnf.ContainsClause(n.Clause) {
+				return chain.Digest{}, fmt.Errorf("%w: mismatch proof against a foreign clause", ErrSoundness)
+			}
+			if !v.Acc.ValidateAcc(n.Digest) {
+				return chain.Digest{}, fmt.Errorf("%w: malformed digest in mismatch node", ErrSoundness)
+			}
+			if n.Proof != nil && !v.Acc.ValidateProof(*n.Proof) {
+				return chain.Digest{}, fmt.Errorf("%w: malformed proof in mismatch node", ErrSoundness)
+			}
+			switch {
+			case n.Proof != nil:
+				clAcc, err := v.Acc.Setup(n.Clause.Multiset())
+				if err != nil {
+					return chain.Digest{}, fmt.Errorf("core: clause accumulation: %w", err)
+				}
+				if !v.Acc.VerifyDisjoint(n.Digest, clAcc, *n.Proof) {
+					return chain.Digest{}, fmt.Errorf("%w: disjointness proof rejected", ErrSoundness)
+				}
+			case n.Group >= 0 && n.Group < len(vo.Groups):
+				if !vo.Groups[n.Group].Clause.Equal(n.Clause) {
+					return chain.Digest{}, fmt.Errorf("%w: node clause differs from its batch group", ErrSoundness)
+				}
+				groupDigests[n.Group] = append(groupDigests[n.Group], n.Digest)
+			default:
+				return chain.Digest{}, fmt.Errorf("%w: mismatch node with neither proof nor group", ErrSoundness)
+			}
+			return nodeHash(n.PreHash, v.Acc.AccBytes(n.Digest)), nil
+
+		case KindExpand:
+			if n.Left == nil || n.Right == nil {
+				return chain.Digest{}, fmt.Errorf("%w: expanded node missing children", ErrCompleteness)
+			}
+			l, err := walk(n.Left)
+			if err != nil {
+				return chain.Digest{}, err
+			}
+			r, err := walk(n.Right)
+			if err != nil {
+				return chain.Digest{}, err
+			}
+			pre := internalPreHash(l, r)
+			if n.HasDigest {
+				return nodeHash(pre, v.Acc.AccBytes(n.Digest)), nil
+			}
+			return pre, nil
+
+		default:
+			return chain.Digest{}, fmt.Errorf("%w: unknown VO node kind %d", ErrSoundness, n.Kind)
+		}
+	}
+	got, err := walk(root)
+	if err != nil {
+		return nil, err
+	}
+	// Completeness + binding: the reconstructed root must equal the
+	// mined commitment the light node already holds.
+	if got != hdr.MerkleRoot {
+		return nil, fmt.Errorf("%w: MerkleRoot mismatch at height %d", ErrCompleteness, hdr.Height)
+	}
+	return results, nil
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func sha256Sum(b []byte) chain.Digest {
+	return sha256.Sum256(b)
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"github.com/vchain-go/vchain/internal/accumulator"
+	"github.com/vchain-go/vchain/internal/chain"
+)
+
+// NodeKind classifies an entry of the intra-block part of a VO.
+type NodeKind int
+
+const (
+	// KindResult is a leaf whose object matches the query and is
+	// returned in full.
+	KindResult NodeKind = iota
+	// KindMismatch is a (sub)tree proven disjoint from some query
+	// clause; only its pre-hash, digest, and proof travel.
+	KindMismatch
+	// KindExpand is an internal node whose attribute multiset matches
+	// the query, so both children are explored.
+	KindExpand
+)
+
+// NodeVO mirrors one node of the SP's intra-block traversal (Alg. 3).
+// The verifier replays the structure bottom-up to reconstruct the
+// block's MerkleRoot.
+type NodeVO struct {
+	Kind NodeKind
+
+	// Obj is the matching object (KindResult).
+	Obj *chain.Object
+
+	// Digest is the node's AttDigest. Present for KindResult and
+	// KindMismatch always, and for KindExpand in indexed modes (it
+	// participates in the node hash).
+	Digest    accumulator.Acc
+	HasDigest bool
+
+	// PreHash is the digest-independent node hash part (KindMismatch
+	// only): H(0x00‖objHash) for leaves, H(0x01‖l‖r) for subtrees.
+	PreHash chain.Digest
+
+	// Clause is the query clause proven disjoint (KindMismatch with
+	// its own proof).
+	Clause Clause
+	// Proof is the disjointness proof; nil when the node participates
+	// in a shared batch group instead.
+	Proof *accumulator.Proof
+	// Group indexes into VO.Groups for batched mismatches; −1 for an
+	// individual proof.
+	Group int
+
+	// Left and Right are the children (KindExpand).
+	Left, Right *NodeVO
+}
+
+// SkipVO authenticates an inter-block jump (Alg. 4): all blocks
+// [Height−Distance+1, Height] mismatch Clause.
+type SkipVO struct {
+	// Distance is the jump length.
+	Distance int
+	// Clause is the query clause the aggregated multiset misses.
+	Clause Clause
+	// Proof is the disjointness proof for (skip multiset, clause).
+	Proof accumulator.Proof
+	// Digest is the skip entry's AttDigest.
+	Digest accumulator.Acc
+	// PrevHash is the landing block's header hash.
+	PrevHash chain.Digest
+	// Siblings holds the other skip entries' leaf hashes (distance →
+	// hash), letting the verifier recompute SkipListRoot.
+	Siblings map[int]chain.Digest
+}
+
+// BlockVO covers one step of the backward traversal: either a skip
+// (covering Distance blocks ending at Height) or one block's tree.
+type BlockVO struct {
+	// Height is the newest block this entry covers.
+	Height int
+	// Skip is set for an inter-block jump.
+	Skip *SkipVO
+	// Tree is set for a single-block traversal.
+	Tree *NodeVO
+}
+
+// MismatchGroup is an online-batched disjointness proof (§6.3): one
+// aggregated proof for all member nodes sharing Clause. The verifier
+// sums the members' digests and runs a single VerifyDisjoint.
+type MismatchGroup struct {
+	Clause Clause
+	Proof  accumulator.Proof
+}
+
+// VO is the complete verification object of a time-window query,
+// ordered newest block first (the traversal order of Alg. 4).
+type VO struct {
+	Blocks []BlockVO
+	// Groups holds batched mismatch proofs (§6.3, acc2 only).
+	Groups []MismatchGroup
+}
+
+// Results extracts the matching objects (the result set R) in traversal
+// order.
+func (vo *VO) Results() []chain.Object {
+	var out []chain.Object
+	var walk func(n *NodeVO)
+	walk = func(n *NodeVO) {
+		if n == nil {
+			return
+		}
+		if n.Kind == KindResult && n.Obj != nil {
+			out = append(out, *n.Obj)
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	for i := range vo.Blocks {
+		walk(vo.Blocks[i].Tree)
+	}
+	return out
+}
+
+// SizeBytes reports the VO's transfer size: proofs, digests, hashes,
+// and clause strings. Result object payloads are the result set R, not
+// part of the VO, and are excluded (matching the paper's VO-size
+// metric).
+func (vo *VO) SizeBytes(acc accumulator.Accumulator) int {
+	total := 0
+	clauseSize := func(c Clause) int {
+		n := 0
+		for _, e := range c {
+			n += len(e)
+		}
+		return n
+	}
+	var walk func(n *NodeVO)
+	walk = func(n *NodeVO) {
+		if n == nil {
+			return
+		}
+		switch n.Kind {
+		case KindResult:
+			if n.HasDigest {
+				total += len(acc.AccBytes(n.Digest))
+			}
+		case KindMismatch:
+			total += len(n.PreHash)
+			if n.HasDigest {
+				total += len(acc.AccBytes(n.Digest))
+			}
+			if n.Proof != nil {
+				total += len(acc.ProofBytes(*n.Proof))
+			} else {
+				total += 4 // group reference
+			}
+			total += clauseSize(n.Clause)
+		case KindExpand:
+			if n.HasDigest {
+				total += len(acc.AccBytes(n.Digest))
+			}
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	for i := range vo.Blocks {
+		b := &vo.Blocks[i]
+		total += 4 // height
+		if b.Skip != nil {
+			total += 8
+			total += clauseSize(b.Skip.Clause)
+			total += len(acc.ProofBytes(b.Skip.Proof))
+			total += len(acc.AccBytes(b.Skip.Digest))
+			total += len(b.Skip.PrevHash)
+			total += len(b.Skip.Siblings) * (8 + len(chain.Digest{}))
+		}
+		walk(b.Tree)
+	}
+	for _, g := range vo.Groups {
+		total += clauseSize(g.Clause) + len(acc.ProofBytes(g.Proof))
+	}
+	return total
+}

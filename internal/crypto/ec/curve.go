@@ -1,0 +1,199 @@
+// Package ec implements arithmetic on the supersingular elliptic curve
+//
+//	E: y² = x³ + 1
+//
+// over F_p and over F_p², where p ≡ 2 (mod 3) and p ≡ 3 (mod 4). With
+// these constraints E(F_p) has exactly p+1 points, the curve is
+// supersingular, and the map φ(x, y) = (ζ·x, y) — with ζ a primitive
+// cube root of unity in F_p² — is a distortion map that carries
+// F_p-rational points to linearly independent points of E(F_p²). These
+// are the ingredients the pairing package needs for a Type-1 (symmetric)
+// bilinear pairing.
+//
+// Points use affine coordinates with an explicit infinity flag. All
+// arithmetic is math/big-based; this library favours auditable
+// correctness over raw speed, which the vChain benchmarks account for.
+package ec
+
+import (
+	"fmt"
+	"math/big"
+
+	"github.com/vchain-go/vchain/internal/crypto/ff"
+)
+
+// Curve is E(F_p): y² = x³ + 1 over the base prime field.
+type Curve struct {
+	// F is the base field F_p.
+	F *ff.Field
+	// Order is the number of points, p + 1 (supersingular).
+	Order *big.Int
+}
+
+// NewCurve constructs E(F_p). The supersingularity condition p ≡ 2
+// (mod 3) is enforced; the field constructor enforces p ≡ 3 (mod 4).
+func NewCurve(f *ff.Field) *Curve {
+	if new(big.Int).Mod(f.P, big.NewInt(3)).Int64() != 2 {
+		panic("ec: curve y²=x³+1 requires p ≡ 2 (mod 3) to be supersingular")
+	}
+	return &Curve{F: f, Order: new(big.Int).Add(f.P, big.NewInt(1))}
+}
+
+// Point is an affine point on E(F_p), or the point at infinity.
+type Point struct {
+	X, Y ff.Elt
+	Inf  bool
+}
+
+// Infinity returns the group identity.
+func (c *Curve) Infinity() Point { return Point{Inf: true} }
+
+// NewPoint validates that (x, y) lies on the curve.
+func (c *Curve) NewPoint(x, y ff.Elt) (Point, error) {
+	p := Point{X: x, Y: y}
+	if !c.IsOnCurve(p) {
+		return Point{}, fmt.Errorf("ec: point (%v, %v) not on curve", x, y)
+	}
+	return p, nil
+}
+
+// IsOnCurve reports whether p satisfies y² = x³ + 1 (infinity counts).
+// Coordinates outside the canonical field range are rejected, so this
+// also validates points deserialized from untrusted peers.
+func (c *Curve) IsOnCurve(p Point) bool {
+	if p.Inf {
+		return true
+	}
+	if !c.F.InField(p.X) || !c.F.InField(p.Y) {
+		return false
+	}
+	f := c.F
+	lhs := f.Square(p.Y)
+	rhs := f.Add(f.Mul(f.Square(p.X), p.X), f.One())
+	return lhs.Equal(rhs)
+}
+
+// Equal reports whether two points are the same.
+func (p Point) Equal(q Point) bool {
+	if p.Inf || q.Inf {
+		return p.Inf == q.Inf
+	}
+	return p.X.Equal(q.X) && p.Y.Equal(q.Y)
+}
+
+// Neg returns -p.
+func (c *Curve) Neg(p Point) Point {
+	if p.Inf {
+		return p
+	}
+	return Point{X: p.X, Y: c.F.Neg(p.Y)}
+}
+
+// Add returns p+q by the affine chord-and-tangent rules.
+func (c *Curve) Add(p, q Point) Point {
+	f := c.F
+	if p.Inf {
+		return q
+	}
+	if q.Inf {
+		return p
+	}
+	if p.X.Equal(q.X) {
+		if p.Y.Equal(q.Y) {
+			return c.Double(p)
+		}
+		return c.Infinity() // q = -p
+	}
+	lambda := f.Mul(f.Sub(q.Y, p.Y), f.Inv(f.Sub(q.X, p.X)))
+	x3 := f.Sub(f.Sub(f.Square(lambda), p.X), q.X)
+	y3 := f.Sub(f.Mul(lambda, f.Sub(p.X, x3)), p.Y)
+	return Point{X: x3, Y: y3}
+}
+
+// Double returns 2p.
+func (c *Curve) Double(p Point) Point {
+	f := c.F
+	if p.Inf || p.Y.IsZero() {
+		return c.Infinity()
+	}
+	// λ = 3x² / 2y  (a = 0 for this curve)
+	num := f.Mul(f.FromInt64(3), f.Square(p.X))
+	den := f.Inv(f.Add(p.Y, p.Y))
+	lambda := f.Mul(num, den)
+	x3 := f.Sub(f.Sub(f.Square(lambda), p.X), p.X)
+	y3 := f.Sub(f.Mul(lambda, f.Sub(p.X, x3)), p.Y)
+	return Point{X: x3, Y: y3}
+}
+
+// ScalarMul returns k·p via double-and-add. Negative k negates the point.
+func (c *Curve) ScalarMul(p Point, k *big.Int) Point {
+	if k.Sign() < 0 {
+		return c.ScalarMul(c.Neg(p), new(big.Int).Neg(k))
+	}
+	r := c.Infinity()
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		r = c.Double(r)
+		if k.Bit(i) == 1 {
+			r = c.Add(r, p)
+		}
+	}
+	return r
+}
+
+// HashToPoint maps a byte string onto the curve by hashing to an x
+// candidate and incrementing until x³+1 is a quadratic residue
+// (try-and-increment). The hashFn parameter decouples ec from a
+// particular hash; vChain passes SHA-256.
+func (c *Curve) HashToPoint(msg []byte, hashFn func([]byte) []byte) Point {
+	f := c.F
+	ctr := byte(0)
+	for {
+		h := hashFn(append(msg, ctr))
+		x := f.NewElt(new(big.Int).SetBytes(h))
+		rhs := f.Add(f.Mul(f.Square(x), x), f.One())
+		if y, ok := f.Sqrt(rhs); ok {
+			return Point{X: x, Y: y}
+		}
+		ctr++
+		if ctr == 0 {
+			panic("ec: hash-to-point failed after 256 attempts (statistically impossible)")
+		}
+	}
+}
+
+// Bytes encodes a point as a tag byte plus fixed-width coordinates.
+func (c *Curve) Bytes(p Point) []byte {
+	if p.Inf {
+		return []byte{0}
+	}
+	out := []byte{1}
+	out = append(out, c.F.Bytes(p.X)...)
+	return append(out, c.F.Bytes(p.Y)...)
+}
+
+// PointFromBytes decodes an encoding produced by Bytes and validates
+// curve membership.
+func (c *Curve) PointFromBytes(b []byte) (Point, error) {
+	if len(b) == 0 {
+		return Point{}, fmt.Errorf("ec: empty point encoding")
+	}
+	if b[0] == 0 {
+		if len(b) != 1 {
+			return Point{}, fmt.Errorf("ec: malformed infinity encoding")
+		}
+		return c.Infinity(), nil
+	}
+	size := (c.F.P.BitLen() + 7) / 8
+	if len(b) != 1+2*size {
+		return Point{}, fmt.Errorf("ec: want %d bytes, got %d", 1+2*size, len(b))
+	}
+	x, err := c.F.EltFromBytes(b[1 : 1+size])
+	if err != nil {
+		return Point{}, err
+	}
+	y, err := c.F.EltFromBytes(b[1+size:])
+	if err != nil {
+		return Point{}, err
+	}
+	return c.NewPoint(x, y)
+}

@@ -1,0 +1,212 @@
+// Package ff implements the finite fields F_p and F_p² used by the
+// pairing-based cryptography in vChain.
+//
+// Elements are immutable wrappers around math/big integers reduced to
+// canonical form. The quadratic extension F_p² is realized as
+// F_p[i]/(i²+1), which is a field whenever p ≡ 3 (mod 4).
+package ff
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Field describes the prime field F_p.
+type Field struct {
+	// P is the prime modulus.
+	P *big.Int
+	// pMinus2 caches P-2 for Fermat inversion.
+	pMinus2 *big.Int
+	// sqrtExp caches (P+1)/4 for square roots (valid since P ≡ 3 mod 4).
+	sqrtExp *big.Int
+}
+
+// NewField creates the prime field F_p. It panics if p is not an odd
+// prime congruent to 3 mod 4; pairing parameters guarantee this, and a
+// misconfigured modulus is a programming error rather than a runtime
+// condition.
+func NewField(p *big.Int) *Field {
+	if p.Sign() <= 0 || p.Bit(0) == 0 {
+		panic("ff: modulus must be an odd prime")
+	}
+	if new(big.Int).Mod(p, big.NewInt(4)).Int64() != 3 {
+		panic("ff: modulus must be ≡ 3 (mod 4) so that i²+1 is irreducible")
+	}
+	f := &Field{P: new(big.Int).Set(p)}
+	f.pMinus2 = new(big.Int).Sub(p, big.NewInt(2))
+	f.sqrtExp = new(big.Int).Add(p, big.NewInt(1))
+	f.sqrtExp.Rsh(f.sqrtExp, 2)
+	return f
+}
+
+// Elt is an element of F_p in canonical form [0, p).
+type Elt struct {
+	v *big.Int
+}
+
+// NewElt reduces v into the field.
+func (f *Field) NewElt(v *big.Int) Elt {
+	r := new(big.Int).Mod(v, f.P)
+	return Elt{v: r}
+}
+
+// FromInt64 builds a field element from a small integer.
+func (f *Field) FromInt64(v int64) Elt {
+	return f.NewElt(big.NewInt(v))
+}
+
+// Zero returns the additive identity.
+func (f *Field) Zero() Elt { return Elt{v: new(big.Int)} }
+
+// One returns the multiplicative identity.
+func (f *Field) One() Elt { return Elt{v: big.NewInt(1)} }
+
+// Big returns a copy of the canonical representative.
+func (e Elt) Big() *big.Int {
+	if e.v == nil {
+		return new(big.Int)
+	}
+	return new(big.Int).Set(e.v)
+}
+
+// IsZero reports whether e is the additive identity.
+func (e Elt) IsZero() bool { return e.v == nil || e.v.Sign() == 0 }
+
+// Equal reports whether two elements are identical.
+func (e Elt) Equal(o Elt) bool {
+	return e.Big().Cmp(o.Big()) == 0
+}
+
+func (e Elt) String() string {
+	return e.Big().String()
+}
+
+// Add returns a+b.
+func (f *Field) Add(a, b Elt) Elt {
+	r := new(big.Int).Add(a.Big(), b.Big())
+	if r.Cmp(f.P) >= 0 {
+		r.Sub(r, f.P)
+	}
+	return Elt{v: r}
+}
+
+// Sub returns a-b.
+func (f *Field) Sub(a, b Elt) Elt {
+	r := new(big.Int).Sub(a.Big(), b.Big())
+	if r.Sign() < 0 {
+		r.Add(r, f.P)
+	}
+	return Elt{v: r}
+}
+
+// Neg returns -a.
+func (f *Field) Neg(a Elt) Elt {
+	if a.IsZero() {
+		return f.Zero()
+	}
+	return Elt{v: new(big.Int).Sub(f.P, a.Big())}
+}
+
+// Mul returns a·b.
+func (f *Field) Mul(a, b Elt) Elt {
+	r := new(big.Int).Mul(a.Big(), b.Big())
+	r.Mod(r, f.P)
+	return Elt{v: r}
+}
+
+// Square returns a².
+func (f *Field) Square(a Elt) Elt { return f.Mul(a, a) }
+
+// Inv returns a⁻¹. It panics on zero, which callers must exclude.
+func (f *Field) Inv(a Elt) Elt {
+	if a.IsZero() {
+		panic("ff: inverse of zero")
+	}
+	r := new(big.Int).ModInverse(a.Big(), f.P)
+	if r == nil {
+		panic("ff: modulus not prime")
+	}
+	return Elt{v: r}
+}
+
+// Exp returns a^k for a non-negative exponent k.
+func (f *Field) Exp(a Elt, k *big.Int) Elt {
+	if k.Sign() < 0 {
+		return f.Exp(f.Inv(a), new(big.Int).Neg(k))
+	}
+	return Elt{v: new(big.Int).Exp(a.Big(), k, f.P)}
+}
+
+// Legendre returns 1 if a is a non-zero quadratic residue mod p, -1 if a
+// is a non-residue, and 0 if a is zero.
+func (f *Field) Legendre(a Elt) int {
+	if a.IsZero() {
+		return 0
+	}
+	e := new(big.Int).Sub(f.P, big.NewInt(1))
+	e.Rsh(e, 1)
+	r := new(big.Int).Exp(a.Big(), e, f.P)
+	if r.Cmp(big.NewInt(1)) == 0 {
+		return 1
+	}
+	return -1
+}
+
+// Sqrt returns a square root of a and true, or the zero element and
+// false when a is a non-residue. Uses the p ≡ 3 (mod 4) shortcut
+// r = a^((p+1)/4).
+func (f *Field) Sqrt(a Elt) (Elt, bool) {
+	if a.IsZero() {
+		return f.Zero(), true
+	}
+	r := f.Exp(a, f.sqrtExp)
+	if !f.Square(r).Equal(a) {
+		return f.Zero(), false
+	}
+	return r, true
+}
+
+// Bytes returns the fixed-width big-endian encoding of e, padded to the
+// byte length of p.
+func (f *Field) Bytes(e Elt) []byte {
+	size := (f.P.BitLen() + 7) / 8
+	b := e.Big().Bytes()
+	if len(b) == size {
+		return b
+	}
+	out := make([]byte, size)
+	copy(out[size-len(b):], b)
+	return out
+}
+
+// GobEncode implements gob.GobEncoder so elements can cross the wire
+// inside verification objects.
+func (e Elt) GobEncode() ([]byte, error) { return e.Big().GobEncode() }
+
+// GobDecode implements gob.GobDecoder. Decoded values are not reduced:
+// receivers of untrusted data must validate them against their field
+// (curve membership checks do this transitively).
+func (e *Elt) GobDecode(b []byte) error {
+	v := new(big.Int)
+	if err := v.GobDecode(b); err != nil {
+		return err
+	}
+	e.v = v
+	return nil
+}
+
+// InField reports whether e is a canonical representative in [0, p).
+func (f *Field) InField(e Elt) bool {
+	v := e.Big()
+	return v.Sign() >= 0 && v.Cmp(f.P) < 0
+}
+
+// EltFromBytes decodes a fixed-width encoding produced by Bytes. Values
+// at or above p are rejected so that encodings stay canonical.
+func (f *Field) EltFromBytes(b []byte) (Elt, error) {
+	v := new(big.Int).SetBytes(b)
+	if v.Cmp(f.P) >= 0 {
+		return Elt{}, fmt.Errorf("ff: encoding %d bytes not canonical", len(b))
+	}
+	return Elt{v: v}, nil
+}

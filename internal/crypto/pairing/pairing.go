@@ -1,0 +1,169 @@
+package pairing
+
+import (
+	"fmt"
+	"math/big"
+
+	"github.com/vchain-go/vchain/internal/crypto/ec"
+	"github.com/vchain-go/vchain/internal/crypto/ff"
+)
+
+// GT is an element of the target group, the order-r subgroup of F_p²*.
+type GT struct {
+	V ff.Elt2
+}
+
+// GTOne returns the identity of G_T.
+func (pr *Params) GTOne() GT { return GT{V: pr.X.One()} }
+
+// GTMul returns a·b in G_T.
+func (pr *Params) GTMul(a, b GT) GT { return GT{V: pr.X.Mul(a.V, b.V)} }
+
+// GTExp returns a^k in G_T.
+func (pr *Params) GTExp(a GT, k *big.Int) GT { return GT{V: pr.X.Exp(a.V, k)} }
+
+// GTInv returns a⁻¹ in G_T.
+func (pr *Params) GTInv(a GT) GT { return GT{V: pr.X.Inv(a.V)} }
+
+// Equal reports G_T equality.
+func (a GT) Equal(b GT) bool { return a.V.Equal(b.V) }
+
+// IsOne reports whether a is the identity.
+func (pr *Params) IsOne(a GT) bool { return a.V.Equal(pr.X.One()) }
+
+// GTBytes encodes a G_T element.
+func (pr *Params) GTBytes(a GT) []byte { return pr.X.Bytes(a.V) }
+
+// GTFromBytes decodes a G_T element.
+func (pr *Params) GTFromBytes(b []byte) (GT, error) {
+	v, err := pr.X.EltFromBytes(b)
+	if err != nil {
+		return GT{}, fmt.Errorf("pairing: %w", err)
+	}
+	return GT{V: v}, nil
+}
+
+// Pair computes the modified Tate pairing ê(P, Q) for P, Q in the
+// order-r subgroup of E(F_p). ê(∞, Q) = ê(P, ∞) = 1.
+func (pr *Params) Pair(p, q ec.Point) GT {
+	if p.Inf || q.Inf {
+		return pr.GTOne()
+	}
+	phiQ := pr.C2.Distort(q)
+	f := pr.miller(p, phiQ)
+	return GT{V: pr.X.Exp(f, pr.finalExp)}
+}
+
+// PairBase returns ê(G, G) for the canonical generator.
+func (pr *Params) PairBase() GT { return pr.Pair(pr.G, pr.G) }
+
+// PairPair is one (P, Q) argument of a pairing product.
+type PairPair struct {
+	P, Q ec.Point
+}
+
+// PairProduct computes ∏ ê(P_i, Q_i) with a single final
+// exponentiation: the Miller values are multiplied in F_p² first and
+// exponentiated once. Verifications of the form
+// ê(a,b)·ê(c,d) =? ê(g,g) (Construction 1) run almost twice as fast
+// this way, since the final exponentiation dominates each pairing.
+func (pr *Params) PairProduct(pairs ...PairPair) GT {
+	acc := pr.X.One()
+	work := false
+	for _, pp := range pairs {
+		if pp.P.Inf || pp.Q.Inf {
+			continue // contributes the identity
+		}
+		phiQ := pr.C2.Distort(pp.Q)
+		acc = pr.X.Mul(acc, pr.miller(pp.P, phiQ))
+		work = true
+	}
+	if !work {
+		return pr.GTOne()
+	}
+	return GT{V: pr.X.Exp(acc, pr.finalExp)}
+}
+
+// miller evaluates Miller's algorithm: f_{r,P} at the point at ∈ E(F_p²),
+// keeping numerator and denominator separate and dividing once at the
+// end. Line coefficients live in F_p (all intermediate points are
+// F_p-rational); evaluations live in F_p².
+//
+// For at = φ(Q) with Q in the order-r subgroup, no line or vertical can
+// vanish at the evaluation point: x_φ(Q) = ζ·x_Q has a non-zero
+// imaginary component (x_Q = 0 only for the 3-torsion points (0, ±1),
+// which cannot lie in a subgroup of prime order r > 3).
+func (pr *Params) miller(p ec.Point, at ec.Point2) ff.Elt2 {
+	x := pr.X
+	num := x.One()
+	den := x.One()
+	v := p
+	r := pr.R
+	for i := r.BitLen() - 2; i >= 0; i-- {
+		// Doubling step: f ← f²·(l_{V,V}/v_{2V}).
+		num = x.Square(num)
+		den = x.Square(den)
+		l, vert := pr.lineAndVertical(v, v, at)
+		num = x.Mul(num, l)
+		den = x.Mul(den, vert)
+		v = pr.C.Double(v)
+		if r.Bit(i) == 1 {
+			// Addition step: f ← f·(l_{V,P}/v_{V+P}).
+			l, vert := pr.lineAndVertical(v, p, at)
+			num = x.Mul(num, l)
+			den = x.Mul(den, vert)
+			v = pr.C.Add(v, p)
+		}
+	}
+	return x.Mul(num, x.Inv(den))
+}
+
+// lineAndVertical returns the line through a and b (tangent when a == b)
+// evaluated at `at`, together with the vertical through a+b evaluated at
+// `at`. Degenerate cases (vertical chord, point at infinity) follow the
+// standard divisor conventions: an absent factor contributes 1.
+func (pr *Params) lineAndVertical(a, b ec.Point, at ec.Point2) (ff.Elt2, ff.Elt2) {
+	f := pr.F
+	x := pr.X
+	one := x.One()
+
+	if a.Inf && b.Inf {
+		return one, one
+	}
+	if a.Inf {
+		// Line through ∞ and b is the vertical at b; a+b = b.
+		return pr.verticalAt(b.X, at), pr.verticalAt(b.X, at)
+	}
+	if b.Inf {
+		return pr.verticalAt(a.X, at), pr.verticalAt(a.X, at)
+	}
+
+	var lambda ff.Elt
+	if a.X.Equal(b.X) {
+		if a.Y.Equal(b.Y) && !a.Y.IsZero() {
+			// Tangent: λ = 3x²/2y (curve coefficient a = 0).
+			num := f.Mul(f.FromInt64(3), f.Square(a.X))
+			lambda = f.Mul(num, f.Inv(f.Add(a.Y, a.Y)))
+		} else {
+			// Vertical chord: a + b = ∞, so the "vertical at a+b"
+			// contributes 1.
+			return pr.verticalAt(a.X, at), one
+		}
+	} else {
+		lambda = f.Mul(f.Sub(b.Y, a.Y), f.Inv(f.Sub(b.X, a.X)))
+	}
+
+	// l(at) = y_at − y_a − λ(x_at − x_a)
+	dy := x.Sub(at.Y, x.FromBase(a.Y))
+	dx := x.Sub(at.X, x.FromBase(a.X))
+	l := x.Sub(dy, x.MulBase(dx, lambda))
+
+	// Sum point for the vertical: compute its x-coordinate.
+	sumX := f.Sub(f.Sub(f.Square(lambda), a.X), b.X)
+	return l, pr.verticalAt(sumX, at)
+}
+
+// verticalAt evaluates the vertical line x − x0 at `at`.
+func (pr *Params) verticalAt(x0 ff.Elt, at ec.Point2) ff.Elt2 {
+	return pr.X.Sub(at.X, pr.X.FromBase(x0))
+}

@@ -1,0 +1,66 @@
+package pairing
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestPairProductMatchesNaive(t *testing.T) {
+	pr := Toy()
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 5; trial++ {
+		n := 1 + rng.Intn(3)
+		pairs := make([]PairPair, n)
+		naive := pr.GTOne()
+		for i := range pairs {
+			a := new(big.Int).Rand(rng, pr.R)
+			b := new(big.Int).Rand(rng, pr.R)
+			pairs[i] = PairPair{
+				P: pr.C.ScalarMul(pr.G, a),
+				Q: pr.C.ScalarMul(pr.G, b),
+			}
+			naive = pr.GTMul(naive, pr.Pair(pairs[i].P, pairs[i].Q))
+		}
+		got := pr.PairProduct(pairs...)
+		if !got.Equal(naive) {
+			t.Fatalf("trial %d: product disagrees with naive computation", trial)
+		}
+	}
+}
+
+func TestPairProductIdentities(t *testing.T) {
+	pr := Toy()
+	// Empty product is 1.
+	if !pr.IsOne(pr.PairProduct()) {
+		t.Error("empty product != 1")
+	}
+	// Infinity arguments contribute nothing.
+	got := pr.PairProduct(
+		PairPair{P: pr.C.Infinity(), Q: pr.G},
+		PairPair{P: pr.G, Q: pr.G},
+	)
+	if !got.Equal(pr.PairBase()) {
+		t.Error("infinity argument not ignored")
+	}
+	// All-infinity product is 1.
+	if !pr.IsOne(pr.PairProduct(PairPair{P: pr.C.Infinity(), Q: pr.C.Infinity()})) {
+		t.Error("all-infinity product != 1")
+	}
+}
+
+func BenchmarkPairProductVsTwoPairings(b *testing.B) {
+	pr := Toy()
+	p1 := pr.C.ScalarMul(pr.G, big.NewInt(111))
+	p2 := pr.C.ScalarMul(pr.G, big.NewInt(222))
+	b.Run("product", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pr.PairProduct(PairPair{P: p1, Q: pr.G}, PairPair{P: p2, Q: pr.G})
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pr.GTMul(pr.Pair(p1, pr.G), pr.Pair(p2, pr.G))
+		}
+	})
+}

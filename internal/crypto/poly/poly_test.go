@@ -1,0 +1,264 @@
+package poly
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var testR = big.NewInt(7919) // prime
+
+func ring() *Ring { return NewRing(testR) }
+
+func randPoly(rg *Ring, rng *rand.Rand, maxDeg int) Poly {
+	n := rng.Intn(maxDeg + 1)
+	cs := make([]*big.Int, n+1)
+	for i := range cs {
+		cs[i] = big.NewInt(int64(rng.Intn(7919)))
+	}
+	return rg.FromCoeffs(cs)
+}
+
+func TestRingRejectsBadModulus(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewRing(big.NewInt(0))
+}
+
+func TestAddSubIdentities(t *testing.T) {
+	rg := ring()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		a := randPoly(rg, rng, 10)
+		b := randPoly(rg, rng, 10)
+		if !rg.Equal(rg.Sub(rg.Add(a, b), b), a) {
+			t.Fatal("(a+b)-b != a")
+		}
+		if !rg.Equal(rg.Add(a, rg.Zero()), a) {
+			t.Fatal("a+0 != a")
+		}
+		if !rg.Sub(a, a).IsZero() {
+			t.Fatal("a-a != 0")
+		}
+	}
+}
+
+func TestMulProperties(t *testing.T) {
+	rg := ring()
+	rng := rand.New(rand.NewSource(2))
+	err := quick.Check(func(seed int64) bool {
+		a := randPoly(rg, rng, 12)
+		b := randPoly(rg, rng, 12)
+		c := randPoly(rg, rng, 12)
+		if !rg.Equal(rg.Mul(a, b), rg.Mul(b, a)) {
+			return false
+		}
+		lhs := rg.Mul(a, rg.Add(b, c))
+		rhs := rg.Add(rg.Mul(a, b), rg.Mul(a, c))
+		if !rg.Equal(lhs, rhs) {
+			return false
+		}
+		return rg.Equal(rg.Mul(a, rg.One()), a)
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulDegree(t *testing.T) {
+	rg := ring()
+	a := rg.FromCoeffs([]*big.Int{big.NewInt(1), big.NewInt(2)})                // 1+2X
+	b := rg.FromCoeffs([]*big.Int{big.NewInt(3), big.NewInt(0), big.NewInt(5)}) // 3+5X²
+	p := rg.Mul(a, b)
+	if p.Degree() != 3 {
+		t.Fatalf("degree %d, want 3", p.Degree())
+	}
+	// (1+2X)(3+5X²) = 3 + 6X + 5X² + 10X³
+	want := rg.FromCoeffs([]*big.Int{big.NewInt(3), big.NewInt(6), big.NewInt(5), big.NewInt(10)})
+	if !rg.Equal(p, want) {
+		t.Fatalf("got %v want %v", p, want)
+	}
+}
+
+func TestKaratsubaMatchesSchoolbook(t *testing.T) {
+	rg := ring()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 4; trial++ {
+		a := randPoly(rg, rng, 200)
+		b := randPoly(rg, rng, 180)
+		if a.IsZero() || b.IsZero() {
+			continue
+		}
+		fast := rg.Mul(a, b)
+		slow := rg.mulSchoolbook(a, b)
+		if !rg.Equal(fast, slow) {
+			t.Fatal("karatsuba disagrees with schoolbook")
+		}
+	}
+}
+
+func TestFromRoots(t *testing.T) {
+	rg := ring()
+	// (X+2)(X+3) = X² + 5X + 6
+	p := rg.FromRoots([]*big.Int{big.NewInt(2), big.NewInt(3)})
+	want := rg.FromCoeffs([]*big.Int{big.NewInt(6), big.NewInt(5), big.NewInt(1)})
+	if !rg.Equal(p, want) {
+		t.Fatalf("got %v want %v", p, want)
+	}
+	// Empty product is 1.
+	if !rg.Equal(rg.FromRoots(nil), rg.One()) {
+		t.Error("empty FromRoots != 1")
+	}
+	// Every -x_i is a root.
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]*big.Int, 20)
+	for i := range xs {
+		xs[i] = big.NewInt(int64(rng.Intn(7000) + 1))
+	}
+	q := rg.FromRoots(xs)
+	if q.Degree() != len(xs) {
+		t.Fatalf("degree %d, want %d", q.Degree(), len(xs))
+	}
+	for _, x := range xs {
+		neg := new(big.Int).Neg(x)
+		if rg.Eval(q, neg).Sign() != 0 {
+			t.Fatalf("-%v is not a root", x)
+		}
+	}
+}
+
+func TestDivMod(t *testing.T) {
+	rg := ring()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 60; i++ {
+		a := randPoly(rg, rng, 20)
+		b := randPoly(rg, rng, 8)
+		if b.IsZero() {
+			continue
+		}
+		q, rem := rg.DivMod(a, b)
+		if rem.Degree() >= b.Degree() {
+			t.Fatal("remainder degree too large")
+		}
+		back := rg.Add(rg.Mul(q, b), rem)
+		if !rg.Equal(back, a) {
+			t.Fatal("q·b + rem != a")
+		}
+	}
+}
+
+func TestDivModByZeroPanics(t *testing.T) {
+	rg := ring()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	rg.DivMod(rg.One(), rg.Zero())
+}
+
+func TestExtGCDBezout(t *testing.T) {
+	rg := ring()
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 40; i++ {
+		a := randPoly(rg, rng, 15)
+		b := randPoly(rg, rng, 15)
+		if a.IsZero() && b.IsZero() {
+			continue
+		}
+		g, u, v := rg.ExtGCD(a, b)
+		lhs := rg.Add(rg.Mul(u, a), rg.Mul(v, b))
+		if !rg.Equal(lhs, g) {
+			t.Fatal("u·a + v·b != gcd")
+		}
+		// gcd divides both.
+		if _, rem := rg.DivMod(a, g); !rem.IsZero() {
+			t.Fatal("gcd does not divide a")
+		}
+		if _, rem := rg.DivMod(b, g); !rem.IsZero() {
+			t.Fatal("gcd does not divide b")
+		}
+		// Monic.
+		if g[len(g)-1].Cmp(big.NewInt(1)) != 0 {
+			t.Fatal("gcd not monic")
+		}
+	}
+}
+
+func TestExtGCDDisjointRootsIsOne(t *testing.T) {
+	rg := ring()
+	// Disjoint root multisets ⇒ gcd = 1. This is the property the
+	// accumulator's disjointness proof relies on.
+	p1 := rg.FromRoots([]*big.Int{big.NewInt(1), big.NewInt(2), big.NewInt(3)})
+	p2 := rg.FromRoots([]*big.Int{big.NewInt(4), big.NewInt(5)})
+	g, u, v := rg.ExtGCD(p1, p2)
+	if !rg.Equal(g, rg.One()) {
+		t.Fatalf("gcd of coprime polynomials is %v, want 1", g)
+	}
+	check := rg.Add(rg.Mul(u, p1), rg.Mul(v, p2))
+	if !rg.Equal(check, rg.One()) {
+		t.Fatal("Bézout identity != 1")
+	}
+	// Shared root ⇒ gcd ≠ 1.
+	p3 := rg.FromRoots([]*big.Int{big.NewInt(3), big.NewInt(9)})
+	g2, _, _ := rg.ExtGCD(p1, p3)
+	if rg.Equal(g2, rg.One()) {
+		t.Fatal("gcd of polynomials sharing root 3 should be non-trivial")
+	}
+}
+
+func TestExtGCDZeroCases(t *testing.T) {
+	rg := ring()
+	g, _, _ := rg.ExtGCD(rg.Zero(), rg.Zero())
+	if !g.IsZero() {
+		t.Error("gcd(0,0) != 0")
+	}
+	a := rg.FromRoots([]*big.Int{big.NewInt(7)})
+	g, u, v := rg.ExtGCD(a, rg.Zero())
+	lhs := rg.Add(rg.Mul(u, a), rg.Mul(v, rg.Zero()))
+	if !rg.Equal(lhs, g) {
+		t.Error("Bézout fails for (a, 0)")
+	}
+}
+
+func TestEvalHorner(t *testing.T) {
+	rg := ring()
+	// p(X) = 2 + 3X + X³ at X=5: 2+15+125 = 142
+	p := rg.FromCoeffs([]*big.Int{big.NewInt(2), big.NewInt(3), big.NewInt(0), big.NewInt(1)})
+	got := rg.Eval(p, big.NewInt(5))
+	if got.Int64() != 142 {
+		t.Fatalf("p(5) = %v, want 142", got)
+	}
+	if rg.Eval(rg.Zero(), big.NewInt(99)).Sign() != 0 {
+		t.Error("zero poly should evaluate to 0")
+	}
+}
+
+func TestCoeffOutOfRange(t *testing.T) {
+	rg := ring()
+	p := rg.One()
+	if p.Coeff(5).Sign() != 0 {
+		t.Error("out-of-range coefficient should be 0")
+	}
+	if p.Coeff(-1).Sign() != 0 {
+		t.Error("negative index should be 0")
+	}
+}
+
+func BenchmarkFromRoots256(b *testing.B) {
+	r, _ := new(big.Int).SetString("ffffffffffffffffffffffffffffffff000000000000000000000001", 16)
+	rg := NewRing(r)
+	xs := make([]*big.Int, 256)
+	rng := rand.New(rand.NewSource(1))
+	for i := range xs {
+		xs[i] = new(big.Int).Rand(rng, r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rg.FromRoots(xs)
+	}
+}

@@ -1,0 +1,127 @@
+package mhtree
+
+import (
+	"fmt"
+	"testing"
+)
+
+func leaves(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("leaf-%d", i))
+	}
+	return out
+}
+
+func TestBuildAndVerifyAllLeaves(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 15, 16, 17} {
+		ls := leaves(n)
+		tr := Build(ls)
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, tr.Len())
+		}
+		root := tr.Root()
+		for i := 0; i < n; i++ {
+			path := tr.Prove(i)
+			if !Verify(ls[i], path, root) {
+				t.Fatalf("n=%d: proof for leaf %d rejected", n, i)
+			}
+		}
+	}
+}
+
+func TestVerifyRejectsTamperedLeaf(t *testing.T) {
+	ls := leaves(8)
+	tr := Build(ls)
+	path := tr.Prove(3)
+	if Verify([]byte("tampered"), path, tr.Root()) {
+		t.Fatal("tampered leaf accepted")
+	}
+	// Wrong position's path.
+	if Verify(ls[3], tr.Prove(4), tr.Root()) {
+		t.Fatal("leaf accepted with another leaf's path")
+	}
+}
+
+func TestVerifyRejectsTamperedPath(t *testing.T) {
+	ls := leaves(8)
+	tr := Build(ls)
+	path := tr.Prove(2)
+	path[0].Hash[0] ^= 0xFF
+	if Verify(ls[2], path, tr.Root()) {
+		t.Fatal("tampered path accepted")
+	}
+}
+
+func TestRootChangesWithContent(t *testing.T) {
+	a := Build(leaves(4)).Root()
+	ls := leaves(4)
+	ls[2] = []byte("different")
+	b := Build(ls).Root()
+	if a == b {
+		t.Fatal("root unchanged after leaf modification")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := Build(nil)
+	if tr.Len() != 0 {
+		t.Fatal("empty tree Len != 0")
+	}
+	// Deterministic sentinel.
+	if tr.Root() != Build([][]byte{}).Root() {
+		t.Fatal("empty roots differ")
+	}
+	if tr.Prove(0) != nil {
+		t.Fatal("Prove on empty tree should return nil")
+	}
+}
+
+func TestProveOutOfRange(t *testing.T) {
+	tr := Build(leaves(4))
+	if tr.Prove(-1) != nil || tr.Prove(4) != nil {
+		t.Fatal("out-of-range Prove should return nil")
+	}
+}
+
+func TestLeafNodeDomainSeparation(t *testing.T) {
+	// A single-leaf tree whose leaf equals an internal-node preimage
+	// must not collide with the two-leaf tree producing that node.
+	two := Build(leaves(2))
+	l0, l1 := hashLeaf([]byte("leaf-0")), hashLeaf([]byte("leaf-1"))
+	preimage := append(append([]byte{}, l0[:]...), l1[:]...)
+	one := Build([][]byte{preimage})
+	if one.Root() == two.Root() {
+		t.Fatal("second-preimage across levels: domain separation broken")
+	}
+}
+
+func TestMultiAttrMHTCounts(t *testing.T) {
+	rows := [][]int64{{3, 1}, {1, 2}, {2, 0}}
+	m := BuildMultiAttr(rows)
+	if m.Dim != 2 {
+		t.Fatalf("dim %d", m.Dim)
+	}
+	if len(m.Trees) != 3 { // 2^2-1 combinations
+		t.Fatalf("want 3 trees, got %d", len(m.Trees))
+	}
+	if m.SizeBytes() <= 0 {
+		t.Fatal("size should be positive")
+	}
+	// Size grows exponentially with dimension: compare d=2 vs d=4.
+	rows4 := [][]int64{{1, 2, 3, 4}, {4, 3, 2, 1}, {2, 2, 2, 2}}
+	m4 := BuildMultiAttr(rows4)
+	if len(m4.Trees) != 15 {
+		t.Fatalf("want 15 trees, got %d", len(m4.Trees))
+	}
+	if m4.SizeBytes() <= m.SizeBytes() {
+		t.Fatal("ADS size should grow with dimensionality")
+	}
+}
+
+func TestMultiAttrMHTEmpty(t *testing.T) {
+	m := BuildMultiAttr(nil)
+	if len(m.Trees) != 0 || m.SizeBytes() != 0 {
+		t.Fatal("empty input should build nothing")
+	}
+}

@@ -1,0 +1,10 @@
+// Package pairingtest centralizes the insecure toy pairing parameters
+// used across the repository's test suites, so every package exercises
+// the same group and parameter generation happens once per process.
+package pairingtest
+
+import "github.com/vchain-go/vchain/internal/crypto/pairing"
+
+// Params returns the cached toy parameters. Never use these outside
+// tests: they offer no cryptographic security.
+func Params() *pairing.Params { return pairing.Toy() }

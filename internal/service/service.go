@@ -1,0 +1,202 @@
+// Package service exposes a vChain SP over TCP and gives light clients
+// a remote query interface. The wire protocol is length-delimited gob:
+// each connection carries a sequence of (Request, Response) pairs.
+// The client never trusts the SP: headers are re-validated on sync and
+// every VO is verified locally, so the transport needs no integrity of
+// its own (matching the paper's threat model, §3).
+package service
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/vchain-go/vchain/internal/chain"
+	"github.com/vchain-go/vchain/internal/core"
+)
+
+// Request is a client → SP message.
+type Request struct {
+	// Kind is "headers" or "query".
+	Kind string
+	// FromHeight is the first header wanted (Kind == "headers").
+	FromHeight int
+	// Query is the time-window query (Kind == "query").
+	Query core.Query
+	// Batched requests online batch verification (§6.3).
+	Batched bool
+}
+
+// Response is an SP → client message.
+type Response struct {
+	// Err carries a processing error, empty on success.
+	Err string
+	// Headers answers a headers request.
+	Headers []chain.Header
+	// VO answers a query request.
+	VO *core.VO
+}
+
+// Server serves one full node's chain.
+type Server struct {
+	node *core.FullNode
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+}
+
+// NewServer wraps a full node.
+func NewServer(node *core.FullNode) *Server {
+	return &Server{node: node, conns: map[net.Conn]struct{}{}}
+}
+
+// Serve starts listening on addr (e.g. "127.0.0.1:0") and returns the
+// bound address. Connections are handled on background goroutines
+// until Close.
+func (s *Server) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("service: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // disconnect or garbage: drop the connection
+		}
+		resp := s.process(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) process(req *Request) *Response {
+	switch req.Kind {
+	case "headers":
+		all := s.node.Store.Headers()
+		if req.FromHeight < 0 || req.FromHeight > len(all) {
+			return &Response{Err: fmt.Sprintf("bad FromHeight %d", req.FromHeight)}
+		}
+		return &Response{Headers: all[req.FromHeight:]}
+	case "query":
+		vo, err := s.node.SP(req.Batched).TimeWindowQuery(req.Query)
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		return &Response{VO: vo}
+	default:
+		return &Response{Err: fmt.Sprintf("unknown request kind %q", req.Kind)}
+	}
+}
+
+// Close stops the listener and open connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	return err
+}
+
+// Client is a light node's connection to a remote SP.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to an SP.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("service: dial: %w", err)
+	}
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// roundTrip sends one request and reads one response.
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("service: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("service: receive: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, errors.New("service: SP error: " + resp.Err)
+	}
+	return &resp, nil
+}
+
+// Headers fetches headers from a height onward.
+func (c *Client) Headers(from int) ([]chain.Header, error) {
+	resp, err := c.roundTrip(&Request{Kind: "headers", FromHeight: from})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Headers, nil
+}
+
+// Query runs a remote time-window query and returns the (unverified)
+// VO; the caller must verify it with a core.Verifier.
+func (c *Client) Query(q core.Query, batched bool) (*core.VO, error) {
+	resp, err := c.roundTrip(&Request{Kind: "query", Query: q, Batched: batched})
+	if err != nil {
+		return nil, err
+	}
+	if resp.VO == nil {
+		return nil, errors.New("service: SP returned no VO")
+	}
+	return resp.VO, nil
+}
+
+// Close disconnects.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,227 @@
+package service
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/vchain-go/vchain/internal/accumulator"
+	"github.com/vchain-go/vchain/internal/chain"
+	"github.com/vchain-go/vchain/internal/core"
+	"github.com/vchain-go/vchain/internal/pairingtest"
+)
+
+func startServer(t *testing.T) (*Server, string, accumulator.Accumulator) {
+	t.Helper()
+	acc := accumulator.KeyGenCon2Deterministic(pairingtest.Params(), 512, accumulator.HashEncoder{Q: 512}, []byte("svc"))
+	b := &core.Builder{Acc: acc, Mode: core.ModeIntra, Width: 4}
+	node := core.NewFullNode(0, b)
+	for i := 0; i < 3; i++ {
+		objs := []chain.Object{
+			{ID: chain.ObjectID(i*10 + 1), TS: int64(i), V: []int64{4}, W: []string{"sedan", "benz"}},
+			{ID: chain.ObjectID(i*10 + 2), TS: int64(i), V: []int64{9}, W: []string{"van", "audi"}},
+		}
+		if _, err := node.MineBlock(objs, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := NewServer(node)
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr, acc
+}
+
+func TestRemoteQueryAndVerify(t *testing.T) {
+	_, addr, acc := startServer(t)
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	headers, err := cli.Headers(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(headers) != 3 {
+		t.Fatalf("headers %d", len(headers))
+	}
+	light := chain.NewLightStore(0)
+	if err := light.Sync(headers); err != nil {
+		t.Fatal(err)
+	}
+
+	q := core.Query{StartBlock: 0, EndBlock: 2, Bool: core.CNF{core.KeywordClause("sedan")}, Width: 4}
+	vo, err := cli.Query(q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := (&core.Verifier{Acc: acc, Light: light}).VerifyTimeWindow(q, vo)
+	if err != nil {
+		t.Fatalf("remote VO failed verification: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results %d, want 3", len(results))
+	}
+}
+
+func TestRemoteBatchedQuery(t *testing.T) {
+	_, addr, acc := startServer(t)
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	headers, _ := cli.Headers(0)
+	light := chain.NewLightStore(0)
+	if err := light.Sync(headers); err != nil {
+		t.Fatal(err)
+	}
+	q := core.Query{StartBlock: 0, EndBlock: 2, Bool: core.CNF{core.KeywordClause("tesla")}, Width: 4}
+	vo, err := cli.Query(q, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vo.Groups) == 0 {
+		t.Error("batched query produced no groups")
+	}
+	if _, err := (&core.Verifier{Acc: acc, Light: light}).VerifyTimeWindow(q, vo); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalHeaderSync(t *testing.T) {
+	_, addr, _ := startServer(t)
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	h, err := cli.Headers(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 1 || h[0].Height != 2 {
+		t.Fatalf("incremental sync wrong: %d headers", len(h))
+	}
+	if _, err := cli.Headers(99); err == nil {
+		t.Error("out-of-range FromHeight accepted")
+	}
+	if _, err := cli.Headers(-1); err == nil {
+		t.Error("negative FromHeight accepted")
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	_, addr, _ := startServer(t)
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	// Invalid query window.
+	q := core.Query{StartBlock: 5, EndBlock: 1, Bool: core.CNF{core.KeywordClause("x")}, Width: 4}
+	if _, err := cli.Query(q, false); err == nil || !strings.Contains(err.Error(), "SP error") {
+		t.Errorf("invalid window: %v", err)
+	}
+	// Unknown request kind.
+	resp, err := cli.roundTrip(&Request{Kind: "bogus"})
+	if err == nil {
+		t.Errorf("unknown kind accepted: %+v", resp)
+	}
+}
+
+func TestMultipleClients(t *testing.T) {
+	_, addr, _ := startServer(t)
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			cli, err := Dial(addr)
+			if err != nil {
+				done <- err
+				return
+			}
+			defer cli.Close()
+			_, err = cli.Headers(0)
+			done <- err
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRemoteSkipVOOverWire(t *testing.T) {
+	// ModeBoth VOs contain skip entries (maps, digests, proofs): they
+	// must survive gob and verify at the remote client.
+	acc := accumulator.KeyGenCon2Deterministic(pairingtest.Params(), 512, accumulator.HashEncoder{Q: 512}, []byte("svc2"))
+	b := &core.Builder{Acc: acc, Mode: core.ModeBoth, SkipSize: 2, Width: 4}
+	node := core.NewFullNode(0, b)
+	for i := 0; i < 8; i++ {
+		objs := []chain.Object{
+			{ID: chain.ObjectID(i*10 + 1), TS: int64(i), V: []int64{4}, W: []string{"van", "audi"}},
+		}
+		if _, err := node.MineBlock(objs, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := NewServer(node)
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	headers, err := cli.Headers(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	light := chain.NewLightStore(0)
+	if err := light.Sync(headers); err != nil {
+		t.Fatal(err)
+	}
+	q := core.Query{StartBlock: 0, EndBlock: 7, Bool: core.CNF{core.KeywordClause("tesla")}, Width: 4}
+	vo, err := cli.Query(q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasSkip := false
+	for i := range vo.Blocks {
+		if vo.Blocks[i].Skip != nil {
+			hasSkip = true
+		}
+	}
+	if !hasSkip {
+		t.Fatal("expected a skip in the remote VO")
+	}
+	res, err := (&core.Verifier{Acc: acc, Light: light}).VerifyTimeWindow(q, vo)
+	if err != nil {
+		t.Fatalf("remote skip VO rejected: %v", err)
+	}
+	if len(res) != 0 {
+		t.Fatal("phantom results")
+	}
+}
+
+func TestServerCloseStopsAccepting(t *testing.T) {
+	srv, addr, _ := startServer(t)
+	srv.Close()
+	if _, err := Dial(addr); err == nil {
+		// Dial may race the close; a successful dial must at least fail
+		// on the first request.
+		cli, _ := Dial(addr)
+		if cli != nil {
+			if _, err := cli.Headers(0); err == nil {
+				t.Error("closed server answered")
+			}
+		}
+	}
+}

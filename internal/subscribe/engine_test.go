@@ -1,0 +1,399 @@
+package subscribe
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/vchain-go/vchain/internal/accumulator"
+	"github.com/vchain-go/vchain/internal/chain"
+	"github.com/vchain-go/vchain/internal/core"
+	"github.com/vchain-go/vchain/internal/pairingtest"
+)
+
+const testWidth = 4
+
+func acc2(t testing.TB) accumulator.Accumulator {
+	t.Helper()
+	return accumulator.KeyGenCon2Deterministic(pairingtest.Params(), 512, accumulator.HashEncoder{Q: 512}, []byte("sub"))
+}
+
+func acc1(t testing.TB) accumulator.Accumulator {
+	t.Helper()
+	return accumulator.KeyGenCon1Deterministic(pairingtest.Params(), 256, []byte("sub"))
+}
+
+// rentalBlocks feeds car-rental objects: block i contains a matching
+// {sedan, benz} car only when matchAt(i) is true.
+func rentalObjects(i int, match bool) []chain.Object {
+	base := uint64(i * 10)
+	objs := []chain.Object{
+		{ID: chain.ObjectID(base + 1), TS: int64(i), V: []int64{5}, W: []string{"van", "audi"}},
+		{ID: chain.ObjectID(base + 2), TS: int64(i), V: []int64{9}, W: []string{"van", "bmw"}},
+	}
+	if match {
+		objs = append(objs, chain.Object{
+			ID: chain.ObjectID(base + 3), TS: int64(i), V: []int64{4}, W: []string{"sedan", "benz"},
+		})
+	}
+	return objs
+}
+
+func carQuery() core.Query {
+	return core.Query{
+		Range: &core.RangeCond{Lo: []int64{3}, Hi: []int64{6}},
+		Bool:  core.CNF{core.KeywordClause("sedan"), core.KeywordClause("benz", "bmw")},
+		Width: testWidth,
+	}
+}
+
+type fixture struct {
+	node   *core.FullNode
+	light  *chain.LightStore
+	engine *Engine
+	pubs   map[int][]Publication
+}
+
+// run mines `blocks` blocks, matching where matchAt says, processing
+// subscriptions after every block.
+func run(t *testing.T, acc accumulator.Accumulator, opts Options, blocks int, matchAt func(int) bool, queries ...core.Query) *fixture {
+	t.Helper()
+	b := &core.Builder{Acc: acc, Mode: core.ModeBoth, SkipSize: 2, Width: testWidth}
+	node := core.NewFullNode(0, b)
+	engine := NewEngine(acc, opts)
+	f := &fixture{node: node, engine: engine, pubs: map[int][]Publication{}}
+	for _, q := range queries {
+		if _, err := engine.Register(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < blocks; i++ {
+		if _, err := node.MineBlock(rentalObjects(i, matchAt(i)), int64(1000+i)); err != nil {
+			t.Fatal(err)
+		}
+		pubs, err := engine.ProcessBlock(node.ADSAt(i), node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pubs {
+			f.pubs[p.QueryID] = append(f.pubs[p.QueryID], p)
+		}
+	}
+	f.light = chain.NewLightStore(0)
+	if err := f.light.Sync(node.Store.Headers()); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// verifyAll checks every publication of query id and returns the total
+// verified results and covered heights.
+func verifyAll(t *testing.T, f *fixture, acc accumulator.Accumulator, q core.Query, id int) (results int, covered map[int]bool) {
+	t.Helper()
+	covered = map[int]bool{}
+	ver := &core.Verifier{Acc: acc, Light: f.light}
+	for _, pub := range f.pubs[id] {
+		objs, err := VerifyPublication(ver, q, &pub)
+		if err != nil {
+			t.Fatalf("publication [%d,%d] rejected: %v", pub.From, pub.To, err)
+		}
+		results += len(objs)
+		for h := pub.From; h <= pub.To; h++ {
+			if covered[h] {
+				t.Fatalf("height %d covered twice", h)
+			}
+			covered[h] = true
+		}
+	}
+	return results, covered
+}
+
+func TestRealtimeSubscription(t *testing.T) {
+	for name, acc := range map[string]accumulator.Accumulator{"acc1": acc1(t), "acc2": acc2(t)} {
+		t.Run(name, func(t *testing.T) {
+			match := func(i int) bool { return i%3 == 0 }
+			f := run(t, acc, Options{Dims: 1, Width: testWidth}, 6, match, carQuery())
+			results, covered := verifyAll(t, f, acc, carQuery(), 0)
+			if results != 2 { // blocks 0 and 3
+				t.Errorf("results = %d, want 2", results)
+			}
+			// Real-time mode publishes every block separately.
+			if len(f.pubs[0]) != 6 {
+				t.Errorf("publications = %d, want 6", len(f.pubs[0]))
+			}
+			for h := 0; h < 6; h++ {
+				if !covered[h] {
+					t.Errorf("height %d not covered", h)
+				}
+			}
+		})
+	}
+}
+
+func TestLazySubscriptionAggregatesSpans(t *testing.T) {
+	acc := acc2(t)
+	match := func(i int) bool { return i == 9 } // one match at the end
+	f := run(t, acc, Options{Lazy: true, Dims: 1, Width: testWidth}, 10, match, carQuery())
+	results, covered := verifyAll(t, f, acc, carQuery(), 0)
+	if results != 1 {
+		t.Errorf("results = %d, want 1", results)
+	}
+	// Lazy mode should publish once (at the match), covering all 10 blocks.
+	if len(f.pubs[0]) != 1 {
+		t.Fatalf("publications = %d, want 1", len(f.pubs[0]))
+	}
+	for h := 0; h < 10; h++ {
+		if !covered[h] {
+			t.Errorf("height %d not covered", h)
+		}
+	}
+	// The span should use at least one skip entry (Alg. 5): fewer VO
+	// blocks than heights.
+	if n := len(f.pubs[0][0].VO.Blocks); n >= 10 {
+		t.Errorf("lazy VO has %d entries for 10 blocks: skip collapse unused", n)
+	}
+}
+
+func TestLazyThresholdForcesPublication(t *testing.T) {
+	acc := acc2(t)
+	never := func(int) bool { return false }
+	f := run(t, acc, Options{Lazy: true, LazyThreshold: 4, Dims: 1, Width: testWidth}, 9, never, carQuery())
+	if len(f.pubs[0]) == 0 {
+		t.Fatal("threshold never fired")
+	}
+	results, _ := verifyAll(t, f, acc, carQuery(), 0)
+	if results != 0 {
+		t.Errorf("results = %d, want 0", results)
+	}
+}
+
+func TestDeregisterFlushesPending(t *testing.T) {
+	acc := acc2(t)
+	b := &core.Builder{Acc: acc, Mode: core.ModeBoth, SkipSize: 2, Width: testWidth}
+	node := core.NewFullNode(0, b)
+	engine := NewEngine(acc, Options{Lazy: true, Dims: 1, Width: testWidth})
+	id, err := engine.Register(carQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := node.MineBlock(rentalObjects(i, false), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := engine.ProcessBlock(node.ADSAt(i), node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pub := engine.Deregister(id)
+	if pub == nil {
+		t.Fatal("no flush on deregister")
+	}
+	if pub.From != 0 || pub.To != 2 {
+		t.Errorf("span [%d,%d], want [0,2]", pub.From, pub.To)
+	}
+	light := chain.NewLightStore(0)
+	if err := light.Sync(node.Store.Headers()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyPublication(&core.Verifier{Acc: acc, Light: light}, carQuery(), pub); err != nil {
+		t.Fatal(err)
+	}
+	if got := engine.Subscriptions(); len(got) != 0 {
+		t.Errorf("subscriptions after deregister: %v", got)
+	}
+	if engine.Deregister(id) != nil {
+		t.Error("double deregister should be nil")
+	}
+}
+
+func TestManyQueriesSharedProcessing(t *testing.T) {
+	acc := acc2(t)
+	// Queries sharing the Boolean clause but with different ranges.
+	queries := make([]core.Query, 8)
+	for i := range queries {
+		q := carQuery()
+		q.Range = &core.RangeCond{Lo: []int64{int64(i % 4)}, Hi: []int64{int64(8 + i%4)}}
+		queries[i] = q
+	}
+	match := func(i int) bool { return i == 2 }
+	fIP := run(t, acc, Options{UseIPTree: true, Dims: 1, Width: testWidth}, 4, match, queries...)
+	fNIP := run(t, acc, Options{Dims: 1, Width: testWidth}, 4, match, queries...)
+
+	for qid := range queries {
+		rIP, _ := verifyAll(t, fIP, acc, queries[qid], qid)
+		rNIP, _ := verifyAll(t, fNIP, acc, queries[qid], qid)
+		if rIP != rNIP {
+			t.Errorf("query %d: ip results %d != nip results %d", qid, rIP, rNIP)
+		}
+	}
+}
+
+func TestMixedSubscriptions(t *testing.T) {
+	acc := acc2(t)
+	q1 := carQuery()
+	q2 := core.Query{Bool: core.CNF{core.KeywordClause("bmw")}, Width: testWidth}
+	match := func(i int) bool { return i%2 == 0 }
+	f := run(t, acc, Options{UseIPTree: true, Dims: 1, Width: testWidth}, 4, match, q1, q2)
+	r1, _ := verifyAll(t, f, acc, q1, 0)
+	r2, _ := verifyAll(t, f, acc, q2, 1)
+	if r1 != 2 { // blocks 0, 2
+		t.Errorf("q1 results = %d, want 2", r1)
+	}
+	if r2 != 4 { // every block has a bmw van
+		t.Errorf("q2 results = %d, want 4", r2)
+	}
+}
+
+func TestRegisterRejectsEmptyQuery(t *testing.T) {
+	engine := NewEngine(acc2(t), Options{})
+	if _, err := engine.Register(core.Query{}); err == nil {
+		t.Error("empty query accepted")
+	}
+}
+
+func TestProcessBlockNoSubscriptions(t *testing.T) {
+	acc := acc2(t)
+	b := &core.Builder{Acc: acc, Mode: core.ModeIntra, Width: testWidth}
+	node := core.NewFullNode(0, b)
+	if _, err := node.MineBlock(rentalObjects(0, true), 1); err != nil {
+		t.Fatal(err)
+	}
+	engine := NewEngine(acc, Options{})
+	pubs, err := engine.ProcessBlock(node.ADSAt(0), node)
+	if err != nil || pubs != nil {
+		t.Errorf("want no-op, got %v, %v", pubs, err)
+	}
+}
+
+func TestLazyWithAcc1FallsBackToFreshProofs(t *testing.T) {
+	// acc1 cannot ProofSum; lazy mode must still work via fresh skip
+	// proofs.
+	acc := acc1(t)
+	match := func(i int) bool { return i == 7 }
+	f := run(t, acc, Options{Lazy: true, Dims: 1, Width: testWidth}, 8, match, carQuery())
+	results, covered := verifyAll(t, f, acc, carQuery(), 0)
+	if results != 1 {
+		t.Errorf("results = %d, want 1", results)
+	}
+	if len(covered) != 8 {
+		t.Errorf("covered %d heights, want 8", len(covered))
+	}
+}
+
+func TestPublicationSpansAreContiguous(t *testing.T) {
+	acc := acc2(t)
+	match := func(i int) bool { return i%4 == 1 }
+	f := run(t, acc, Options{Lazy: true, Dims: 1, Width: testWidth}, 12, match, carQuery())
+	last := -1
+	for _, pub := range f.pubs[0] {
+		if pub.From != last+1 {
+			t.Fatalf("gap: publication starts at %d after %d", pub.From, last)
+		}
+		if pub.To < pub.From {
+			t.Fatalf("inverted span [%d,%d]", pub.From, pub.To)
+		}
+		last = pub.To
+	}
+	if last != 11 {
+		// The final blocks may be pending; flush and re-check.
+		if pub := f.engine.Deregister(0); pub != nil {
+			if pub.From != last+1 {
+				t.Fatalf("flush gap: %d after %d", pub.From, last)
+			}
+			last = pub.To
+		}
+	}
+	if last != 11 {
+		t.Fatalf("coverage ends at %d, want 11", last)
+	}
+}
+
+func TestRegistrationChurnRebuildsIPTree(t *testing.T) {
+	acc := acc2(t)
+	b := &core.Builder{Acc: acc, Mode: core.ModeBoth, SkipSize: 2, Width: testWidth}
+	node := core.NewFullNode(0, b)
+	engine := NewEngine(acc, Options{UseIPTree: true, Dims: 1, Width: testWidth})
+	q1 := carQuery()
+	id1, err := engine.Register(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	light := chain.NewLightStore(0)
+
+	collect := func(h int, match bool) []Publication {
+		t.Helper()
+		if _, err := node.MineBlock(rentalObjects(h, match), int64(h)); err != nil {
+			t.Fatal(err)
+		}
+		pubs, err := engine.ProcessBlock(node.ADSAt(h), node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pubs
+	}
+	pubs := collect(0, true)
+	if len(pubs) != 1 {
+		t.Fatalf("block 0: %d pubs", len(pubs))
+	}
+
+	// Register a second query mid-stream: the IP-tree must rebuild and
+	// the new query only sees subsequent blocks.
+	q2 := core.Query{Bool: core.CNF{core.KeywordClause("bmw")}, Width: testWidth}
+	id2, err := engine.Register(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubs = collect(1, false)
+	if len(pubs) != 2 {
+		t.Fatalf("block 1: %d pubs, want 2 (both queries)", len(pubs))
+	}
+
+	// Deregister the first; only the second keeps publishing.
+	engine.Deregister(id1)
+	pubs = collect(2, true)
+	if len(pubs) != 1 || pubs[0].QueryID != id2 {
+		t.Fatalf("block 2: %+v", pubs)
+	}
+	if err := light.Sync(node.Store.Headers()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyPublication(&core.Verifier{Acc: acc, Light: light}, q2, &pubs[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicationTamperingCaught(t *testing.T) {
+	acc := acc2(t)
+	match := func(i int) bool { return true }
+	f := run(t, acc, Options{Dims: 1, Width: testWidth}, 2, match, carQuery())
+	ver := &core.Verifier{Acc: acc, Light: f.light}
+	pub := f.pubs[0][0]
+	// Claim a wider span than the VO covers.
+	pub.From--
+	if _, err := VerifyPublication(ver, carQuery(), &pub); err == nil {
+		t.Fatal("span inflation accepted")
+	}
+}
+
+func ExampleEngine() {
+	// Compact walkthrough: a subscription receives a verifiable
+	// publication for a block containing a match.
+	pr := pairingtest.Params()
+	acc := accumulator.KeyGenCon2Deterministic(pr, 512, accumulator.HashEncoder{Q: 512}, []byte("ex"))
+	builder := &core.Builder{Acc: acc, Mode: core.ModeIntra, Width: 4}
+	node := core.NewFullNode(0, builder)
+	engine := NewEngine(acc, Options{Dims: 1, Width: 4})
+
+	q := core.Query{Bool: core.CNF{core.KeywordClause("sedan")}, Width: 4}
+	id, _ := engine.Register(q)
+
+	node.MineBlock([]chain.Object{
+		{ID: 1, TS: 1, V: []int64{4}, W: []string{"sedan", "benz"}},
+	}, 1)
+	pubs, _ := engine.ProcessBlock(node.ADSAt(0), node)
+
+	light := chain.NewLightStore(0)
+	light.Sync(node.Store.Headers())
+	objs, err := VerifyPublication(&core.Verifier{Acc: acc, Light: light}, q, &pubs[0])
+	fmt.Println(id, len(objs), err)
+	// Output: 0 1 <nil>
+}

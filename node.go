@@ -1,0 +1,122 @@
+package vchain
+
+import (
+	"fmt"
+
+	"github.com/vchain-go/vchain/internal/chain"
+	"github.com/vchain-go/vchain/internal/core"
+	"github.com/vchain-go/vchain/internal/subscribe"
+)
+
+// FullNode is a miner and service provider over one chain: it mines
+// ADS-carrying blocks, answers time-window queries with VOs, and runs
+// the subscription engine.
+type FullNode struct {
+	sys    *System
+	node   *core.FullNode
+	engine *subscribe.Engine
+}
+
+// NewFullNode creates a full node (miner + SP) for this system.
+func (s *System) NewFullNode() *FullNode {
+	builder := &core.Builder{
+		Acc:      s.acc,
+		Mode:     s.cfg.Index,
+		SkipSize: s.cfg.SkipListSize,
+		Width:    s.cfg.BitWidth,
+	}
+	return &FullNode{
+		sys:  s,
+		node: core.NewFullNode(chain.Difficulty(s.cfg.Difficulty), builder),
+	}
+}
+
+// Mine appends a block of objects with the given timestamp, returning
+// the new block. Registered subscriptions are processed automatically;
+// due publications are returned alongside.
+func (n *FullNode) Mine(objs []Object, ts int64) (*Block, []Publication, error) {
+	blk, err := n.node.MineBlock(objs, ts)
+	if err != nil {
+		return nil, nil, err
+	}
+	var pubs []Publication
+	if n.engine != nil {
+		pubs, err = n.engine.ProcessBlock(n.node.ADSAt(int(blk.Header.Height)), n.node)
+		if err != nil {
+			return nil, nil, fmt.Errorf("vchain: subscriptions: %w", err)
+		}
+	}
+	return blk, pubs, nil
+}
+
+// Height returns the chain height.
+func (n *FullNode) Height() int { return n.node.Height() }
+
+// Headers returns all block headers (what light clients sync).
+func (n *FullNode) Headers() []Header { return n.node.Store.Headers() }
+
+// BlockAt returns a block by height.
+func (n *FullNode) BlockAt(height int) (*Block, error) { return n.node.Store.BlockAt(height) }
+
+// TimeWindow answers a time-window query, returning the VO (results
+// are embedded: VO.Results()).
+func (n *FullNode) TimeWindow(q Query) (*VO, error) {
+	return n.node.SPWith(false, n.sys.cfg.SPWorkers).TimeWindowQuery(q)
+}
+
+// WindowByTime resolves a timestamp window [ts, te] to block heights
+// (the form queries take in the paper, §3). Pair with TimeWindow:
+//
+//	start, end, ok := node.WindowByTime(tsStart, tsEnd)
+//	q.StartBlock, q.EndBlock = start, end
+func (n *FullNode) WindowByTime(ts, te int64) (start, end int, ok bool) {
+	return n.node.Store.WindowByTime(ts, te)
+}
+
+// TimeWindowBatched answers with online batch verification enabled
+// (§6.3); it falls back to individual proofs when the configured
+// accumulator cannot aggregate.
+func (n *FullNode) TimeWindowBatched(q Query) (*VO, error) {
+	return n.node.SP(true).TimeWindowQuery(q)
+}
+
+// SubscribeOptions configure the node's subscription engine. Changing
+// options after the first Subscribe call is not supported.
+type SubscribeOptions struct {
+	// UseIPTree shares clause evaluation and proofs across queries
+	// (§7.1).
+	UseIPTree bool
+	// Lazy defers mismatch proofs until results appear (§7.2).
+	Lazy bool
+	// LazyThreshold caps pending blocks before a forced publication.
+	LazyThreshold int
+	// Dims is the numeric dimensionality of subscription ranges.
+	Dims int
+}
+
+// Subscribe registers a continuous query (its window fields are
+// ignored) and returns its subscription id.
+func (n *FullNode) Subscribe(q Query, opts SubscribeOptions) (int, error) {
+	if n.engine == nil {
+		n.engine = subscribe.NewEngine(n.sys.acc, subscribe.Options{
+			UseIPTree:     opts.UseIPTree,
+			Lazy:          opts.Lazy,
+			LazyThreshold: opts.LazyThreshold,
+			Dims:          opts.Dims,
+			Width:         n.sys.cfg.BitWidth,
+		})
+	}
+	return n.engine.Register(q)
+}
+
+// Unsubscribe deregisters a query, returning any final pending
+// publication.
+func (n *FullNode) Unsubscribe(id int) *Publication {
+	if n.engine == nil {
+		return nil
+	}
+	return n.engine.Deregister(id)
+}
+
+// Internal accessors used by the service layer and benchmarks.
+func (n *FullNode) Core() *core.FullNode { return n.node }

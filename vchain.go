@@ -1,0 +1,203 @@
+// Package vchain is a Go implementation of vChain (Xu, Zhang, Xu;
+// SIGMOD 2019): verifiable Boolean range queries over blockchain
+// databases.
+//
+// A vChain deployment has three roles sharing one System configuration:
+//
+//   - a Miner (full node) that embeds an accumulator-based
+//     authenticated data structure into every block it appends;
+//   - a service provider (SP, also a full node) that answers
+//     time-window and subscription queries, returning results together
+//     with a verification object (VO);
+//   - a LightClient that stores block headers only and uses VOs to
+//     verify both the soundness and the completeness of every result
+//     set, without trusting the SP.
+//
+// Quickstart:
+//
+//	sys, _ := vchain.NewSystem(vchain.Config{})
+//	node := sys.NewFullNode()
+//	node.Mine([]vchain.Object{{ID: 1, TS: 1, V: []int64{42}, W: []string{"sedan"}}}, 1)
+//
+//	client := sys.NewLightClient()
+//	client.SyncHeaders(node.Headers())
+//
+//	q := vchain.Query{EndBlock: 0, Bool: vchain.And(vchain.Or("sedan"))}
+//	vo, _ := node.TimeWindow(q)
+//	results, err := client.Verify(q, vo) // err == nil certifies integrity
+//	_ = results
+package vchain
+
+import (
+	"fmt"
+
+	"github.com/vchain-go/vchain/internal/accumulator"
+	"github.com/vchain-go/vchain/internal/chain"
+	"github.com/vchain-go/vchain/internal/core"
+	"github.com/vchain-go/vchain/internal/crypto/pairing"
+	"github.com/vchain-go/vchain/internal/subscribe"
+)
+
+// Re-exported data model. Object is a temporal object ⟨t, V, W⟩; Query
+// is a Boolean range query (§3 of the paper).
+type (
+	// Object is a temporal data object.
+	Object = chain.Object
+	// ObjectID identifies an object.
+	ObjectID = chain.ObjectID
+	// Header is a block header (what light clients store).
+	Header = chain.Header
+	// Block is a full block.
+	Block = chain.Block
+	// Query is a Boolean range query.
+	Query = core.Query
+	// RangeCond is a numeric range predicate.
+	RangeCond = core.RangeCond
+	// Clause is an OR-set of a CNF condition.
+	Clause = core.Clause
+	// CNF is a monotone Boolean function in conjunctive normal form.
+	CNF = core.CNF
+	// VO is a verification object.
+	VO = core.VO
+	// Publication is a subscription delivery.
+	Publication = subscribe.Publication
+	// IndexMode selects the ADS indexes (IndexNil / IndexIntra /
+	// IndexBoth).
+	IndexMode = core.IndexMode
+)
+
+// Index modes (§5 basic, §6.1 intra-block, §6.2 inter-block).
+const (
+	IndexNil   = core.ModeNil
+	IndexIntra = core.ModeIntra
+	IndexBoth  = core.ModeBoth
+)
+
+// Or builds a disjunctive clause of keywords: Or("benz", "bmw") is
+// ("Benz" ∨ "BMW").
+func Or(keywords ...string) Clause { return core.KeywordClause(keywords...) }
+
+// And conjoins clauses into a CNF: And(Or("sedan"), Or("benz", "bmw"))
+// is "Sedan" ∧ ("Benz" ∨ "BMW").
+func And(clauses ...Clause) CNF { return CNF(clauses) }
+
+// Verification errors, re-exported for errors.Is checks.
+var (
+	// ErrSoundness marks tampered or non-matching results.
+	ErrSoundness = core.ErrSoundness
+	// ErrCompleteness marks omitted results or uncovered windows.
+	ErrCompleteness = core.ErrCompleteness
+)
+
+// Config selects the cryptographic and indexing configuration shared by
+// all roles of a deployment.
+type Config struct {
+	// Preset names the pairing parameters: "toy" (fast, insecure —
+	// tests only), "default" (≈80-bit classic setting), or
+	// "conservative". Empty means "default".
+	Preset string
+	// Accumulator picks the construction: "acc1" (q-SDH, §5.2.1) or
+	// "acc2" (q-DHE with aggregation, §5.2.2). Empty means "acc2".
+	Accumulator string
+	// Index selects the ADS indexes. Default IndexBoth.
+	Index IndexMode
+	// SkipListSize is ℓ, the number of inter-block skips (jumps 4, 8,
+	// …, 2^(ℓ+1)). Default 3. Ignored unless Index == IndexBoth.
+	SkipListSize int
+	// BitWidth is the numeric attribute width. Default 16.
+	BitWidth int
+	// Capacity bounds accumulable multisets: for acc1 the maximum
+	// multiset cardinality, for acc2 the element-domain bound q.
+	// Default 4096.
+	Capacity int
+	// Difficulty is the proof-of-work difficulty in leading zero bits.
+	// Default 8.
+	Difficulty uint8
+	// SPWorkers is the SP's proof-computation worker count (the paper's
+	// SP runs 24 hyper-threads). Default 1 (inline).
+	SPWorkers int
+	// Seed, when non-empty, derives the accumulator trapdoor
+	// deterministically (reproducible benchmarks and tests only).
+	Seed []byte
+	// Encoder supplies the acc2 element encoder; nil means a
+	// HashEncoder over the capacity domain.
+	Encoder accumulator.ElementEncoder
+}
+
+func (c Config) withDefaults() Config {
+	if c.Preset == "" {
+		c.Preset = "default"
+	}
+	if c.Accumulator == "" {
+		c.Accumulator = "acc2"
+	}
+	if c.Index == 0 && c.SkipListSize == 0 {
+		c.Index = IndexBoth
+	}
+	if c.SkipListSize == 0 {
+		c.SkipListSize = 3
+	}
+	if c.BitWidth == 0 {
+		c.BitWidth = 16
+	}
+	if c.Capacity == 0 {
+		c.Capacity = 4096
+	}
+	if c.Difficulty == 0 {
+		c.Difficulty = 8
+	}
+	return c
+}
+
+// System bundles the shared cryptographic state of one deployment. All
+// nodes and clients of the same chain must be created from the same
+// System (they share the accumulator public key).
+type System struct {
+	cfg Config
+	acc accumulator.Accumulator
+}
+
+// NewSystem validates the configuration and runs the accumulator key
+// generation.
+func NewSystem(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	var pr *pairing.Params
+	switch cfg.Preset {
+	case "toy", "default", "conservative":
+		pr = pairing.ByName(cfg.Preset)
+	default:
+		return nil, fmt.Errorf("vchain: unknown preset %q", cfg.Preset)
+	}
+	var acc accumulator.Accumulator
+	var err error
+	switch cfg.Accumulator {
+	case "acc1":
+		if len(cfg.Seed) > 0 {
+			acc = accumulator.KeyGenCon1Deterministic(pr, cfg.Capacity, cfg.Seed)
+		} else {
+			acc, err = accumulator.KeyGenCon1(pr, cfg.Capacity)
+		}
+	case "acc2":
+		enc := cfg.Encoder
+		if enc == nil {
+			enc = accumulator.HashEncoder{Q: cfg.Capacity}
+		}
+		if len(cfg.Seed) > 0 {
+			acc = accumulator.KeyGenCon2Deterministic(pr, cfg.Capacity, enc, cfg.Seed)
+		} else {
+			acc, err = accumulator.KeyGenCon2(pr, cfg.Capacity, enc)
+		}
+	default:
+		return nil, fmt.Errorf("vchain: unknown accumulator %q (want acc1 or acc2)", cfg.Accumulator)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg, acc: acc}, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Accumulator exposes the shared accumulator (public part).
+func (s *System) Accumulator() accumulator.Accumulator { return s.acc }

@@ -1,0 +1,244 @@
+package vchain
+
+import (
+	"errors"
+	"testing"
+)
+
+func testSystem(t testing.TB, accName string, mode IndexMode) *System {
+	t.Helper()
+	sys, err := NewSystem(Config{
+		Preset:       "toy",
+		Accumulator:  accName,
+		Index:        mode,
+		SkipListSize: 2,
+		BitWidth:     4,
+		Capacity:     512,
+		Difficulty:   1,
+		Seed:         []byte("facade-test"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func carBlock(i int) []Object {
+	base := uint64(i * 10)
+	return []Object{
+		{ID: ObjectID(base + 1), TS: int64(i), V: []int64{4}, W: []string{"sedan", "benz"}},
+		{ID: ObjectID(base + 2), TS: int64(i), V: []int64{9}, W: []string{"van", "audi"}},
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	for _, accName := range []string{"acc1", "acc2"} {
+		t.Run(accName, func(t *testing.T) {
+			sys := testSystem(t, accName, IndexBoth)
+			node := sys.NewFullNode()
+			for i := 0; i < 3; i++ {
+				if _, _, err := node.Mine(carBlock(i), int64(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			client := sys.NewLightClient()
+			if err := client.SyncHeaders(node.Headers()); err != nil {
+				t.Fatal(err)
+			}
+			if client.Height() != 3 {
+				t.Fatalf("client height %d", client.Height())
+			}
+			q := Query{
+				StartBlock: 0, EndBlock: 2,
+				Range: &RangeCond{Lo: []int64{0}, Hi: []int64{5}},
+				Bool:  And(Or("sedan")),
+				Width: 4,
+			}
+			vo, err := node.TimeWindow(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			results, err := client.Verify(q, vo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(results) != 3 {
+				t.Fatalf("results %d, want 3", len(results))
+			}
+			if client.VOSize(vo) <= 0 {
+				t.Error("VO size should be positive")
+			}
+			if client.StorageBits() <= 0 {
+				t.Error("light storage should be positive")
+			}
+		})
+	}
+}
+
+func TestFacadeBatchedQuery(t *testing.T) {
+	sys := testSystem(t, "acc2", IndexIntra)
+	node := sys.NewFullNode()
+	for i := 0; i < 3; i++ {
+		if _, _, err := node.Mine(carBlock(i), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client := sys.NewLightClient()
+	if err := client.SyncHeaders(node.Headers()); err != nil {
+		t.Fatal(err)
+	}
+	q := Query{StartBlock: 0, EndBlock: 2, Bool: And(Or("tesla")), Width: 4}
+	vo, err := node.TimeWindowBatched(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Verify(q, vo); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeSubscription(t *testing.T) {
+	sys := testSystem(t, "acc2", IndexBoth)
+	node := sys.NewFullNode()
+	q := Query{Bool: And(Or("sedan")), Width: 4}
+	id, err := node.Subscribe(q, SubscribeOptions{UseIPTree: true, Dims: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pubs []Publication
+	for i := 0; i < 3; i++ {
+		_, p, err := node.Mine(carBlock(i), int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pubs = append(pubs, p...)
+	}
+	client := sys.NewLightClient()
+	if err := client.SyncHeaders(node.Headers()); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i := range pubs {
+		objs, err := client.VerifyPublication(q, &pubs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(objs)
+	}
+	if total != 3 {
+		t.Fatalf("subscription results %d, want 3", total)
+	}
+	if pub := node.Unsubscribe(id); pub != nil {
+		t.Error("no pending span expected in real-time mode")
+	}
+}
+
+func TestFacadeRejectsTamperedVO(t *testing.T) {
+	sys := testSystem(t, "acc2", IndexIntra)
+	node := sys.NewFullNode()
+	if _, _, err := node.Mine(carBlock(0), 0); err != nil {
+		t.Fatal(err)
+	}
+	client := sys.NewLightClient()
+	if err := client.SyncHeaders(node.Headers()); err != nil {
+		t.Fatal(err)
+	}
+	q := Query{StartBlock: 0, EndBlock: 0, Bool: And(Or("sedan")), Width: 4}
+	vo, err := node.TimeWindow(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vo.Blocks = nil // SP returns an empty VO
+	_, err = client.Verify(q, vo)
+	if !errors.Is(err, ErrCompleteness) {
+		t.Fatalf("want completeness violation, got %v", err)
+	}
+}
+
+func TestFacadeTimestampWindow(t *testing.T) {
+	sys := testSystem(t, "acc2", IndexIntra)
+	node := sys.NewFullNode()
+	// Blocks at timestamps 100, 110, 120.
+	for i := 0; i < 3; i++ {
+		if _, _, err := node.Mine(carBlock(i), int64(100+10*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client := sys.NewLightClient()
+	if err := client.SyncHeaders(node.Headers()); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's query form: a timestamp window resolved locally on
+	// both sides.
+	start, end, ok := client.WindowByTime(105, 125)
+	if !ok || start != 1 || end != 2 {
+		t.Fatalf("client window (%d,%d,%v)", start, end, ok)
+	}
+	s2, e2, ok2 := node.WindowByTime(105, 125)
+	if !ok2 || s2 != start || e2 != end {
+		t.Fatal("node and client disagree on the window")
+	}
+	q := Query{StartBlock: start, EndBlock: end, Bool: And(Or("sedan")), Width: 4}
+	vo, err := node.TimeWindow(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := client.Verify(q, vo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results %d, want 2", len(results))
+	}
+	if _, _, ok := client.WindowByTime(500, 600); ok {
+		t.Error("window beyond the chain should not resolve")
+	}
+}
+
+func TestFacadeParallelSP(t *testing.T) {
+	sys, err := NewSystem(Config{
+		Preset: "toy", Index: IndexIntra, BitWidth: 4, Capacity: 512,
+		Difficulty: 1, Seed: []byte("par"), SPWorkers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := sys.NewFullNode()
+	for i := 0; i < 3; i++ {
+		if _, _, err := node.Mine(carBlock(i), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client := sys.NewLightClient()
+	if err := client.SyncHeaders(node.Headers()); err != nil {
+		t.Fatal(err)
+	}
+	q := Query{StartBlock: 0, EndBlock: 2, Bool: And(Or("sedan")), Width: 4}
+	vo, err := node.TimeWindow(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Verify(q, vo); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewSystem(Config{Preset: "nope"}); err == nil {
+		t.Error("bad preset accepted")
+	}
+	if _, err := NewSystem(Config{Preset: "toy", Accumulator: "acc3"}); err == nil {
+		t.Error("bad accumulator accepted")
+	}
+	sys, err := NewSystem(Config{Preset: "toy", Seed: []byte("x"), Capacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sys.Config()
+	if cfg.Accumulator != "acc2" || cfg.Index != IndexBoth || cfg.BitWidth != 16 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	if sys.Accumulator() == nil {
+		t.Error("accumulator missing")
+	}
+}
