@@ -20,6 +20,7 @@ import (
 	"github.com/vchain-go/vchain/internal/accumulator"
 	"github.com/vchain-go/vchain/internal/core"
 	"github.com/vchain-go/vchain/internal/crypto/pairing"
+	"github.com/vchain-go/vchain/internal/proofs"
 	"github.com/vchain-go/vchain/internal/service"
 	"github.com/vchain-go/vchain/internal/workload"
 )
@@ -32,6 +33,8 @@ func main() {
 		objs    = flag.Int("objects", 4, "objects per block")
 		preset  = flag.String("preset", "toy", "pairing preset")
 		seed    = flag.Int64("seed", 42, "workload seed")
+		workers = flag.Int("workers", 4, "proof-computation workers")
+		cache   = flag.Int("proof-cache", 0, "proof cache entries (0 = default, <0 disables)")
 	)
 	flag.Parse()
 
@@ -48,6 +51,7 @@ func main() {
 	q := 4096
 	acc := accumulator.KeyGenCon2Deterministic(pr, q, accumulator.HashEncoder{Q: q}, []byte("vchain-demo"))
 	node := core.NewFullNode(0, &core.Builder{Acc: acc, Mode: core.ModeBoth, SkipSize: 2, Width: ds.Width})
+	node.Proofs = proofs.New(acc, proofs.Options{Workers: *workers, CacheSize: *cache})
 	fmt.Printf("mining %d blocks of %s (%d objects each)...\n", *blocks, *dataset, *objs)
 	for i, blk := range ds.Blocks {
 		if _, err := node.MineBlock(blk, int64(i)); err != nil {
@@ -69,4 +73,8 @@ func main() {
 	signal.Notify(ch, os.Interrupt)
 	<-ch
 	srv.Close()
+
+	st := node.ProofEngine().Stats()
+	fmt.Printf("proof engine: %d proofs computed, %d cache hits / %d misses (%.1f%% hit rate), %d agg groups, %d errors\n",
+		st.Proofs, st.CacheHits, st.CacheMisses, st.HitRate()*100, st.AggGroups, st.Errors)
 }

@@ -1,0 +1,3 @@
+module github.com/vchain-go/vchain
+
+go 1.24

@@ -21,6 +21,7 @@ import (
 	"github.com/vchain-go/vchain/internal/chain"
 	"github.com/vchain-go/vchain/internal/core"
 	"github.com/vchain-go/vchain/internal/crypto/pairing"
+	"github.com/vchain-go/vchain/internal/proofs"
 	"github.com/vchain-go/vchain/internal/workload"
 )
 
@@ -204,20 +205,54 @@ func buildSetup(pr *pairing.Params, ds *workload.Dataset, o Options, accName str
 	return &setup{ds: ds, acc: acc, node: node, light: light}, nil
 }
 
-// windowMetrics aggregates one time-window measurement.
+// windowMetrics aggregates one time-window measurement, including the
+// proof-engine deltas it caused (proof throughput and cache hit rate).
 type windowMetrics struct {
 	spTime   time.Duration
 	userTime time.Duration
 	voBytes  int
 	results  int
+	// spTotal is the un-averaged SP time across all queries of the
+	// measurement (spTime is the per-query average).
+	spTotal time.Duration
+	// proofs and hitRate describe the proof engine's work over the
+	// whole measurement: disjointness proofs computed and the fraction
+	// of lookups served from the memoization cache.
+	proofs  uint64
+	hitRate float64
+}
+
+// proofsPerSec is the engine's proof throughput during the SP phase
+// (proofs computed over the total, not per-query, SP time).
+func (m windowMetrics) proofsPerSec() float64 {
+	if m.spTotal <= 0 {
+		return 0
+	}
+	return float64(m.proofs) / m.spTotal.Seconds()
+}
+
+// statsDelta subtracts engine snapshots taken around a measurement.
+func statsDelta(before, after proofs.Stats) (computed uint64, hitRate float64) {
+	computed = after.Proofs - before.Proofs
+	hits := after.CacheHits - before.CacheHits
+	misses := after.CacheMisses - before.CacheMisses
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	return computed, hitRate
 }
 
 // runWindowQueries executes each query over [start, end] and averages
-// the three paper metrics.
+// the three paper metrics. Each measurement gets a fresh proof engine
+// so sweep rows stay independent: the reported hit rate reflects reuse
+// among this point's queries only, and a row's SP CPU is never served
+// from proofs cached while measuring an earlier row.
 func runWindowQueries(s *setup, queries []core.Query, start, end int, batched bool) (windowMetrics, error) {
 	var total windowMetrics
-	sp := s.node.SP(batched)
+	eng := proofs.New(s.acc, proofs.Options{})
+	sp := &core.SP{Acc: s.acc, View: s.node, Batch: batched, Engine: eng}
 	ver := &core.Verifier{Acc: s.acc, Light: s.light}
+	st0 := eng.Stats()
 	for _, q := range queries {
 		q.StartBlock, q.EndBlock = start, end
 		t0 := time.Now()
@@ -235,13 +270,21 @@ func runWindowQueries(s *setup, queries []core.Query, start, end int, batched bo
 		total.userTime += time.Since(t0)
 		total.results += len(res)
 	}
+	computed, hitRate := statsDelta(st0, eng.Stats())
 	n := time.Duration(len(queries))
 	return windowMetrics{
 		spTime:   total.spTime / n,
 		userTime: total.userTime / n,
 		voBytes:  total.voBytes / len(queries),
 		results:  total.results / len(queries),
+		spTotal:  total.spTime,
+		proofs:   computed,
+		hitRate:  hitRate,
 	}, nil
+}
+
+func pct(f float64) string {
+	return fmt.Sprintf("%.0f%%", f*100)
 }
 
 func ms(d time.Duration) string {

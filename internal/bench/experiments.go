@@ -71,7 +71,7 @@ func TimeWindowFig(kind workload.Kind, title string, o Options) (*Table, error) 
 		Title: fmt.Sprintf("%s: Time-Window Query Performance (%s)", title, kind),
 		Note: fmt.Sprintf("%d blocks, %d objects/block, %d queries/point, selectivity=%.0f%%, bool fan-out=%d",
 			o.Blocks, o.ObjectsPerBlock, o.Queries, ds.DefaultSelectivity*100, ds.BoolSize),
-		Columns: []string{"Scheme", "Window(blocks)", "SP CPU(ms)", "User CPU(ms)", "VO(KB)", "Results"},
+		Columns: []string{"Scheme", "Window(blocks)", "SP CPU(ms)", "User CPU(ms)", "VO(KB)", "Results", "Proofs/s", "Hit%"},
 	}
 	for _, accName := range []string{"acc1", "acc2"} {
 		for _, mode := range []core.IndexMode{core.ModeNil, core.ModeIntra, core.ModeBoth} {
@@ -93,6 +93,7 @@ func TimeWindowFig(kind workload.Kind, title string, o Options) (*Table, error) 
 					fmt.Sprintf("%d", w),
 					ms(m.spTime), ms(m.userTime), kb(m.voBytes),
 					fmt.Sprintf("%d", m.results),
+					fmt.Sprintf("%.0f", m.proofsPerSec()), pct(m.hitRate),
 				})
 			}
 		}

@@ -12,17 +12,21 @@ import (
 
 // subscriptionRun replays a mined chain through a subscription engine
 // and measures accumulated SP time, accumulated user (verification)
-// time, and accumulated VO size across all publications.
+// time, and accumulated VO size across all publications, plus the
+// proof-engine work (proofs computed, cache hit rate).
 type subscriptionRun struct {
 	spTime   time.Duration
 	userTime time.Duration
 	voBytes  int
 	results  int
 	pubs     int
+	proofs   uint64
+	hitRate  float64
 }
 
 func runSubscription(s *setup, queries []core.Query, opts subscribe.Options, period int) (*subscriptionRun, error) {
 	eng := subscribe.NewEngine(s.acc, opts)
+	st0 := eng.ProofStats()
 	ids := make([]int, len(queries))
 	for i, q := range queries {
 		id, err := eng.Register(q)
@@ -56,6 +60,7 @@ func runSubscription(s *setup, queries []core.Query, opts subscribe.Options, per
 		}
 	}
 	out.spTime += time.Since(t0)
+	out.proofs, out.hitRate = statsDelta(st0, eng.ProofStats())
 
 	for i := range pubs {
 		pub := &pubs[i]
@@ -90,7 +95,7 @@ func SubscriptionIPTreeFig(kind workload.Kind, title string, o Options) (*Table,
 		Title: fmt.Sprintf("%s: Subscription Queries with IP-Tree (%s)", title, kind),
 		Note: fmt.Sprintf("period=%d blocks, acc2, both indexes; accumulated over all queries",
 			o.Blocks),
-		Columns: []string{"Scheme", "Queries", "SP CPU(ms)", "Pubs"},
+		Columns: []string{"Scheme", "Queries", "SP CPU(ms)", "Pubs", "Proofs", "Hit%"},
 	}
 	counts := querySweep(o.Queries)
 	schemes := []struct {
@@ -120,6 +125,7 @@ func SubscriptionIPTreeFig(kind workload.Kind, title string, o Options) (*Table,
 			t.Rows = append(t.Rows, []string{
 				sch.name, fmt.Sprintf("%d", n),
 				ms(run.spTime), fmt.Sprintf("%d", run.pubs),
+				fmt.Sprintf("%d", run.proofs), pct(run.hitRate),
 			})
 		}
 	}

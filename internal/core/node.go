@@ -7,6 +7,7 @@ import (
 
 	"github.com/vchain-go/vchain/internal/accumulator"
 	"github.com/vchain-go/vchain/internal/chain"
+	"github.com/vchain-go/vchain/internal/proofs"
 )
 
 // FullNode is a miner/SP node: the chain store plus the per-block ADS
@@ -20,6 +21,14 @@ type FullNode struct {
 
 	mu   sync.RWMutex
 	adss []*BlockADS
+
+	// Proofs is the node's shared proof engine: every SP derived from
+	// this node routes its disjointness proofs through it, so repeated
+	// and overlapping queries reuse cached proofs. Set it (e.g. to a
+	// deployment-wide engine) before the first SP call; left nil, a
+	// default engine is created lazily.
+	Proofs   *proofs.Engine
+	proofsMu sync.Mutex
 
 	// SetupStats accumulates miner-side ADS construction cost, feeding
 	// Table 1.
@@ -103,14 +112,26 @@ func (n *FullNode) MineBlock(objs []chain.Object, ts int64) (*chain.Block, error
 	return blk, nil
 }
 
-// SP returns a query engine over this node's chain.
+// ProofEngine returns the node's shared proof engine, creating a
+// default one (single default worker, default cache) on first use.
+func (n *FullNode) ProofEngine() *proofs.Engine {
+	n.proofsMu.Lock()
+	defer n.proofsMu.Unlock()
+	if n.Proofs == nil {
+		n.Proofs = proofs.New(n.Builder.Acc, proofs.Options{})
+	}
+	return n.Proofs
+}
+
+// SP returns a query engine over this node's chain, backed by the
+// shared proof engine.
 func (n *FullNode) SP(batch bool) *SP {
-	return &SP{Acc: n.Builder.Acc, View: n, Batch: batch}
+	return &SP{Acc: n.Builder.Acc, View: n, Batch: batch, Engine: n.ProofEngine()}
 }
 
 // SPWith returns a query engine with an explicit proof-worker count.
 func (n *FullNode) SPWith(batch bool, parallelism int) *SP {
-	return &SP{Acc: n.Builder.Acc, View: n, Batch: batch, Parallelism: parallelism}
+	return &SP{Acc: n.Builder.Acc, View: n, Batch: batch, Parallelism: parallelism, Engine: n.ProofEngine()}
 }
 
 // Acc exposes the node's accumulator (public part) for verifiers.

@@ -6,11 +6,18 @@ import (
 	"github.com/vchain-go/vchain/internal/accumulator"
 	"github.com/vchain-go/vchain/internal/chain"
 	"github.com/vchain-go/vchain/internal/multiset"
+	"github.com/vchain-go/vchain/internal/proofs"
 )
 
 // SP is the service provider's query engine: a full node that answers
 // time-window queries with verification objects. It reads blocks and
 // their ADSs through a ChainView plus object access.
+//
+// All disjointness proofs are routed through a proofs.Engine, which
+// memoizes (multiset, clause) pairs and executes deferred proof tasks
+// on a bounded worker pool. Sharing one engine across SPs, repeated
+// queries, and the subscription engine is where cross-query proof
+// reuse (§6.3/§7) comes from.
 type SP struct {
 	// Acc is the shared accumulator construction.
 	Acc accumulator.Accumulator
@@ -21,70 +28,31 @@ type SP struct {
 	// aggregating accumulator (acc2); silently ignored otherwise.
 	Batch bool
 	// Parallelism sets the proof-computation worker count (the paper's
-	// SP runs 24 hyper-threads). Values ≤ 1 compute proofs inline.
+	// SP runs 24 hyper-threads). Values ≤ 1 defer to the engine's
+	// default; an engine default of 1 computes proofs inline.
 	// Disjointness proofs dominate SP CPU, so this is where threads pay.
 	Parallelism int
+	// Engine is the shared proof engine. When nil, a private engine
+	// without a cache is created per query (legacy standalone use);
+	// FullNode.SP/SPWith always attach the node's shared engine.
+	Engine *proofs.Engine
 }
 
-// proofTask is a deferred ProveDisjoint call scheduled during VO
-// construction and executed by the worker pool.
-type proofTask struct {
-	w      multiset.Multiset
-	clause Clause
-	assign func(accumulator.Proof)
+// engine returns the configured shared engine or a private uncached
+// fallback matching the pre-engine semantics.
+func (sp *SP) engine() *proofs.Engine {
+	if sp.Engine != nil {
+		return sp.Engine
+	}
+	return proofs.New(sp.Acc, proofs.Options{Workers: sp.Parallelism, CacheSize: -1})
 }
 
-// scheduler collects proof tasks when the SP runs parallel.
-type scheduler struct {
-	tasks []proofTask
-}
-
-func (s *scheduler) add(w multiset.Multiset, clause Clause, assign func(accumulator.Proof)) {
-	s.tasks = append(s.tasks, proofTask{w: w, clause: clause, assign: assign})
-}
-
-// run executes all tasks on `workers` goroutines. The first error wins.
-func (s *scheduler) run(acc accumulator.Accumulator, workers int) error {
-	if len(s.tasks) == 0 {
-		return nil
+// workers resolves the effective worker count for this SP.
+func (sp *SP) workers(eng *proofs.Engine) int {
+	if sp.Parallelism > 0 {
+		return sp.Parallelism
 	}
-	if workers > len(s.tasks) {
-		workers = len(s.tasks)
-	}
-	type result struct {
-		idx int
-		pf  accumulator.Proof
-		err error
-	}
-	jobs := make(chan int)
-	results := make(chan result, len(s.tasks))
-	for w := 0; w < workers; w++ {
-		go func() {
-			for idx := range jobs {
-				t := &s.tasks[idx]
-				pf, err := acc.ProveDisjoint(t.w, t.clause.Multiset())
-				results <- result{idx: idx, pf: pf, err: err}
-			}
-		}()
-	}
-	go func() {
-		for i := range s.tasks {
-			jobs <- i
-		}
-		close(jobs)
-	}()
-	var firstErr error
-	for range s.tasks {
-		r := <-results
-		if r.err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("core: parallel proof: %w", r.err)
-			}
-			continue
-		}
-		s.tasks[r.idx].assign(r.pf)
-	}
-	return firstErr
+	return eng.Workers()
 }
 
 // canProve pre-checks that a deferred disjointness proof will succeed
@@ -98,56 +66,38 @@ func canProve(acc accumulator.Accumulator, w multiset.Multiset, clause Clause) b
 	return true
 }
 
-// batcher accumulates same-clause mismatches across the whole query.
-type batcher struct {
-	acc    accumulator.Accumulator
-	groups map[string]*batchGroup
-	order  []string
+// aggVO adapts the engine's same-clause Aggregator to VO assembly: it
+// tracks which Clause owns each group index and materializes the
+// MismatchGroup list.
+type aggVO struct {
+	agg     *proofs.Aggregator
+	clauses []Clause
 }
 
-type batchGroup struct {
-	clause Clause
-	w      multiset.Multiset
-	nodes  []*NodeVO
-	index  int
-}
-
-func newBatcher(acc accumulator.Accumulator) *batcher {
-	return &batcher{acc: acc, groups: map[string]*batchGroup{}}
+func newAggVO(eng *proofs.Engine) *aggVO {
+	return &aggVO{agg: eng.NewAggregator()}
 }
 
 // add registers a mismatching node into its clause group.
-func (b *batcher) add(n *NodeVO, w multiset.Multiset, clause Clause) {
-	k := clause.Key()
-	g, ok := b.groups[k]
-	if !ok {
-		g = &batchGroup{clause: clause, w: multiset.Multiset{}, index: len(b.order)}
-		b.groups[k] = g
-		b.order = append(b.order, k)
+func (b *aggVO) add(n *NodeVO, w multiset.Multiset, clause Clause) {
+	idx := b.agg.Add(clause.Key(), w, clause.Multiset())
+	if idx == len(b.clauses) {
+		b.clauses = append(b.clauses, clause)
 	}
-	g.w = multiset.Sum(g.w, w)
-	g.nodes = append(g.nodes, n)
-	n.Group = g.index
+	n.Group = idx
 }
 
 // finalize computes one aggregated proof per group and returns them in
-// insertion order. With a scheduler, proof computation is deferred to
-// the worker pool.
-func (b *batcher) finalize(sched *scheduler) ([]MismatchGroup, error) {
-	out := make([]MismatchGroup, len(b.order))
-	for _, k := range b.order {
-		g := b.groups[k]
-		out[g.index] = MismatchGroup{Clause: g.clause}
-		if sched != nil {
-			idx := g.index
-			sched.add(g.w, g.clause, func(pf accumulator.Proof) { out[idx].Proof = pf })
-			continue
-		}
-		pf, err := b.acc.ProveDisjoint(g.w, g.clause.Multiset())
-		if err != nil {
-			return nil, fmt.Errorf("core: batched proof for clause %v: %w", g.clause, err)
-		}
-		out[g.index].Proof = pf
+// insertion order. With a run, proof computation is deferred to the
+// worker pool.
+func (b *aggVO) finalize(run *proofs.Run) ([]MismatchGroup, error) {
+	out := make([]MismatchGroup, len(b.clauses))
+	for i, cl := range b.clauses {
+		out[i] = MismatchGroup{Clause: cl}
+	}
+	err := b.agg.Finalize(run, func(i int, pf accumulator.Proof) { out[i].Proof = pf })
+	if err != nil {
+		return nil, fmt.Errorf("core: batched proof: %w", err)
 	}
 	return out, nil
 }
@@ -164,14 +114,16 @@ func (sp *SP) TimeWindowQuery(q Query) (*VO, error) {
 	if q.StartBlock < 0 || q.EndBlock < q.StartBlock {
 		return nil, fmt.Errorf("core: invalid block window [%d, %d]", q.StartBlock, q.EndBlock)
 	}
+	eng := sp.engine()
 	vo := &VO{}
-	var batch *batcher
+	var batch *aggVO
 	if sp.Batch && sp.Acc.SupportsAgg() {
-		batch = newBatcher(sp.Acc)
+		batch = newAggVO(eng)
 	}
-	var sched *scheduler
-	if sp.Parallelism > 1 {
-		sched = &scheduler{}
+	workers := sp.workers(eng)
+	var run *proofs.Run
+	if workers > 1 {
+		run = eng.NewRun()
 	}
 
 	h := q.EndBlock
@@ -183,12 +135,12 @@ func (sp *SP) TimeWindowQuery(q Query) (*VO, error) {
 		// Try the largest usable skip first (Alg. 4): it must stay
 		// inside the window and its aggregated multiset must mismatch
 		// some clause.
-		if skip := sp.trySkip(ads, cnf, q.StartBlock, sched); skip != nil {
+		if skip := sp.trySkip(ads, cnf, q.StartBlock, eng, run); skip != nil {
 			vo.Blocks = append(vo.Blocks, BlockVO{Height: h, Skip: skip})
 			h -= skip.Distance
 			continue
 		}
-		tree, err := sp.blockTreeVO(ads, cnf, batch, sched)
+		tree, err := sp.blockTreeVO(ads, cnf, batch, eng, run)
 		if err != nil {
 			return nil, err
 		}
@@ -197,15 +149,15 @@ func (sp *SP) TimeWindowQuery(q Query) (*VO, error) {
 	}
 
 	if batch != nil {
-		groups, err := batch.finalize(sched)
+		groups, err := batch.finalize(run)
 		if err != nil {
 			return nil, err
 		}
 		vo.Groups = groups
 	}
-	if sched != nil {
-		if err := sched.run(sp.Acc, sp.Parallelism); err != nil {
-			return nil, err
+	if run != nil {
+		if err := run.Wait(workers); err != nil {
+			return nil, fmt.Errorf("core: parallel proof: %w", err)
 		}
 	}
 	return vo, nil
@@ -213,7 +165,7 @@ func (sp *SP) TimeWindowQuery(q Query) (*VO, error) {
 
 // trySkip returns the largest skip at ads.Height that stays within the
 // window and is provably disjoint from some clause, or nil.
-func (sp *SP) trySkip(ads *BlockADS, cnf CNF, startBlock int, sched *scheduler) *SkipVO {
+func (sp *SP) trySkip(ads *BlockADS, cnf CNF, startBlock int, eng *proofs.Engine, run *proofs.Run) *SkipVO {
 	for i := len(ads.Skips) - 1; i >= 0; i-- {
 		entry := &ads.Skips[i]
 		if ads.Height-entry.Distance+1 < startBlock {
@@ -234,10 +186,10 @@ func (sp *SP) trySkip(ads *BlockADS, cnf CNF, startBlock int, sched *scheduler) 
 			Digest:   entry.Digest,
 			PrevHash: entry.PrevHash,
 		}
-		if sched != nil {
-			sched.add(entry.W, clause, func(pf accumulator.Proof) { out.Proof = pf })
+		if run != nil {
+			run.Add(entry.W, clause.Key(), clause.Multiset(), func(pf accumulator.Proof) { out.Proof = pf })
 		} else {
-			pf, err := sp.Acc.ProveDisjoint(entry.W, clause.Multiset())
+			pf, err := eng.Prove(entry.W, clause.Key(), clause.Multiset())
 			if err != nil {
 				continue // e.g. hash collision: try a smaller skip
 			}
@@ -257,9 +209,26 @@ func (sp *SP) trySkip(ads *BlockADS, cnf CNF, startBlock int, sched *scheduler) 
 }
 
 // BlockTreeVO runs the single-block traversal (Alg. 3) and returns its
-// tree VO. The subscription engine publishes these for matching blocks.
+// tree VO. The subscription engine publishes these for matching blocks;
+// with a parallel engine the tree's mismatch proofs are computed on the
+// worker pool.
 func (sp *SP) BlockTreeVO(ads *BlockADS, cnf CNF) (*NodeVO, error) {
-	return sp.blockTreeVO(ads, cnf, nil, nil)
+	eng := sp.engine()
+	workers := sp.workers(eng)
+	var run *proofs.Run
+	if workers > 1 {
+		run = eng.NewRun()
+	}
+	node, err := sp.blockTreeVO(ads, cnf, nil, eng, run)
+	if err != nil {
+		return nil, err
+	}
+	if run != nil {
+		if err := run.Wait(workers); err != nil {
+			return nil, fmt.Errorf("core: parallel proof: %w", err)
+		}
+	}
+	return node, nil
 }
 
 // RootMismatchVO builds the block-level mismatch entry subscriptions
@@ -292,7 +261,7 @@ func RootMismatchVO(ads *BlockADS, clause Clause, pf accumulator.Proof) *NodeVO 
 // blockTreeVO runs Alg. 3 over one block's intra index (which in
 // ModeNil is the plain tree whose internal nodes carry no digests, so
 // traversal always reaches the leaves).
-func (sp *SP) blockTreeVO(ads *BlockADS, cnf CNF, batch *batcher, sched *scheduler) (*NodeVO, error) {
+func (sp *SP) blockTreeVO(ads *BlockADS, cnf CNF, batch *aggVO, eng *proofs.Engine, run *proofs.Run) (*NodeVO, error) {
 	var build func(n *IntraNode) (*NodeVO, error)
 	build = func(n *IntraNode) (*NodeVO, error) {
 		// Prunable node: carries a digest and mismatches some clause.
@@ -313,10 +282,10 @@ func (sp *SP) blockTreeVO(ads *BlockADS, cnf CNF, batch *batcher, sched *schedul
 				switch {
 				case batch != nil:
 					batch.add(out, n.W, clause)
-				case sched != nil:
-					sched.add(n.W, clause, func(pf accumulator.Proof) { out.Proof = &pf })
+				case run != nil:
+					run.Add(n.W, clause.Key(), clause.Multiset(), func(pf accumulator.Proof) { out.Proof = &pf })
 				default:
-					pf, err := sp.Acc.ProveDisjoint(n.W, clause.Multiset())
+					pf, err := eng.Prove(n.W, clause.Key(), clause.Multiset())
 					if err != nil {
 						return nil, fmt.Errorf("core: mismatch proof: %w", err)
 					}

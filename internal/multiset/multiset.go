@@ -9,6 +9,8 @@
 package multiset
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"sort"
 	"strings"
 )
@@ -202,6 +204,25 @@ func (m Multiset) Expand() []string {
 			out = append(out, k)
 		}
 	}
+	return out
+}
+
+// Digest returns a collision-resistant 32-byte digest of the multiset:
+// SHA-256 over the length-delimited (element, multiplicity) pairs in
+// sorted element order. Equal multisets share a digest regardless of
+// construction order; the proof engine uses it as a memoization key.
+func (m Multiset) Digest() [sha256.Size]byte {
+	h := sha256.New()
+	var buf [8]byte
+	for _, k := range m.Elements() {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(k)))
+		h.Write(buf[:])
+		h.Write([]byte(k))
+		binary.LittleEndian.PutUint64(buf[:], uint64(m[k]))
+		h.Write(buf[:])
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
 	return out
 }
 

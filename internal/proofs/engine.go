@@ -1,0 +1,387 @@
+// Package proofs is the shared concurrent disjointness-proof engine.
+//
+// Disjointness proofs (accumulator.ProveDisjoint) dominate SP CPU in
+// vChain — the paper's SP runs 24 hyper-threads on them (§8) — and the
+// same (multiset, clause) pair is proved again and again across
+// repeated time-window queries, across the subscriptions sharing a
+// block, and across the blocks of a lazy span. The Engine centralizes
+// that cost behind one reusable component:
+//
+//   - a bounded worker pool executing deferred proof tasks scheduled
+//     with assign callbacks (Run), so VO construction can stay
+//     single-threaded while proof computation fans out;
+//   - an LRU memoization cache keyed by (multiset digest, clause key)
+//     with single-flight deduplication, so concurrent and repeated
+//     requests for the same proof compute it once;
+//   - same-clause aggregation (Aggregator) for aggregating
+//     accumulators, powering online batch verification (§6.3);
+//   - a Stats snapshot (proofs computed, cache hits/misses,
+//     aggregation groups) for CLIs and benchmarks.
+//
+// One Engine is shared by the time-window SP paths, the subscription
+// engine, and the service layer of a deployment; it is safe for
+// concurrent use.
+package proofs
+
+import (
+	"container/list"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/vchain-go/vchain/internal/accumulator"
+	"github.com/vchain-go/vchain/internal/multiset"
+)
+
+// DefaultCacheSize is the proof-cache capacity when Options.CacheSize
+// is zero. A cached proof is two curve points (~a hundred bytes), so
+// the default costs well under a megabyte.
+const DefaultCacheSize = 4096
+
+// Options configure an Engine.
+type Options struct {
+	// Workers is the default worker count for deferred runs (Run.Wait
+	// with workers <= 0) — the paper's SP uses 24. Values <= 1 mean
+	// proofs execute inline on the waiting goroutine.
+	Workers int
+	// CacheSize bounds the LRU proof cache: 0 means DefaultCacheSize,
+	// negative disables caching entirely.
+	CacheSize int
+}
+
+// Stats is a point-in-time snapshot of engine counters.
+type Stats struct {
+	// Proofs counts disjointness proofs actually computed (cache
+	// misses that reached the accumulator, successful or not).
+	Proofs uint64
+	// CacheHits counts requests answered from the cache or joined onto
+	// an in-flight computation of the same proof.
+	CacheHits uint64
+	// CacheMisses counts requests that had to compute.
+	CacheMisses uint64
+	// Evictions counts cache entries dropped by the LRU bound.
+	Evictions uint64
+	// AggGroups counts same-clause aggregation groups finalized.
+	AggGroups uint64
+	// Errors counts failed proof computations (e.g. non-disjoint or
+	// over-capacity multisets).
+	Errors uint64
+}
+
+// HitRate returns CacheHits / (CacheHits + CacheMisses), or 0 when no
+// requests have been made.
+func (s Stats) HitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// Engine computes, caches, and aggregates disjointness proofs on
+// behalf of every proof consumer of one deployment.
+type Engine struct {
+	acc       accumulator.Accumulator
+	workers   int
+	cacheSize int
+
+	// sem bounds proof computations in flight across all concurrent
+	// runs sharing this engine — capacity max(Workers, GOMAXPROCS) —
+	// so stacking runs (e.g. many subscription blocks at once) cannot
+	// oversubscribe the host, while per-run worker counts above the
+	// engine default still parallelize up to the hardware.
+	sem chan struct{}
+
+	mu       sync.Mutex
+	lru      *list.List // of *cacheEntry, most recent first
+	items    map[cacheKey]*list.Element
+	inflight map[cacheKey]*flight
+	stats    Stats
+}
+
+// cacheKey identifies one memoized proof: the digest of the first
+// multiset plus the caller's clause key. The clause key must uniquely
+// determine the clause's multiset (core.Clause.Key does).
+type cacheKey struct {
+	w      [32]byte
+	clause string
+}
+
+type cacheEntry struct {
+	key cacheKey
+	pf  accumulator.Proof
+}
+
+// flight is an in-progress computation other requesters can join.
+type flight struct {
+	done chan struct{}
+	pf   accumulator.Proof
+	err  error
+}
+
+// New creates an engine over the given accumulator.
+func New(acc accumulator.Accumulator, opts Options) *Engine {
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	size := opts.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	maxConc := workers
+	if n := runtime.GOMAXPROCS(0); n > maxConc {
+		maxConc = n
+	}
+	return &Engine{
+		acc:       acc,
+		workers:   workers,
+		cacheSize: size,
+		sem:       make(chan struct{}, maxConc),
+		lru:       list.New(),
+		items:     map[cacheKey]*list.Element{},
+		inflight:  map[cacheKey]*flight{},
+	}
+}
+
+// Acc returns the engine's accumulator.
+func (e *Engine) Acc() accumulator.Accumulator { return e.acc }
+
+// Workers returns the default worker count.
+func (e *Engine) Workers() int { return e.workers }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Prove returns a proof that w and the clause's multiset are disjoint,
+// serving it from the cache when an equal pair was proved before and
+// joining an in-flight computation when one is already underway.
+// clauseKey must uniquely determine clauseW.
+func (e *Engine) Prove(w multiset.Multiset, clauseKey string, clauseW multiset.Multiset) (accumulator.Proof, error) {
+	if e.cacheSize < 0 {
+		e.mu.Lock()
+		e.stats.CacheMisses++
+		e.mu.Unlock()
+		return e.compute(w, clauseW)
+	}
+	key := cacheKey{w: w.Digest(), clause: clauseKey}
+
+	e.mu.Lock()
+	if el, ok := e.items[key]; ok {
+		e.lru.MoveToFront(el)
+		e.stats.CacheHits++
+		pf := el.Value.(*cacheEntry).pf
+		e.mu.Unlock()
+		return pf, nil
+	}
+	if f, ok := e.inflight[key]; ok {
+		e.stats.CacheHits++
+		e.mu.Unlock()
+		<-f.done
+		return f.pf, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	e.inflight[key] = f
+	e.stats.CacheMisses++
+	e.mu.Unlock()
+
+	f.pf, f.err = e.compute(w, clauseW)
+
+	e.mu.Lock()
+	delete(e.inflight, key)
+	if f.err == nil {
+		e.items[key] = e.lru.PushFront(&cacheEntry{key: key, pf: f.pf})
+		for e.lru.Len() > e.cacheSize {
+			oldest := e.lru.Back()
+			delete(e.items, oldest.Value.(*cacheEntry).key)
+			e.lru.Remove(oldest)
+			e.stats.Evictions++
+		}
+	}
+	e.mu.Unlock()
+	close(f.done)
+	return f.pf, f.err
+}
+
+// compute runs the accumulator proof under the concurrency bound and
+// updates the computation counters.
+func (e *Engine) compute(w, clauseW multiset.Multiset) (accumulator.Proof, error) {
+	e.sem <- struct{}{}
+	pf, err := e.acc.ProveDisjoint(w, clauseW)
+	<-e.sem
+	e.mu.Lock()
+	e.stats.Proofs++
+	if err != nil {
+		e.stats.Errors++
+	}
+	e.mu.Unlock()
+	return pf, err
+}
+
+// task is one deferred proof with its assign callback.
+type task struct {
+	w         multiset.Multiset
+	clauseKey string
+	clauseW   multiset.Multiset
+	assign    func(accumulator.Proof)
+}
+
+// Run collects deferred proof tasks scheduled during VO construction
+// and executes them on the worker pool at Wait. Runs are not safe for
+// concurrent Add; build the run single-threaded, then Wait.
+type Run struct {
+	e     *Engine
+	tasks []task
+}
+
+// NewRun starts an empty deferred-task run.
+func (e *Engine) NewRun() *Run { return &Run{e: e} }
+
+// Add schedules one proof; assign receives the proof when Wait
+// executes the run. Assign callbacks run on worker goroutines but
+// never concurrently with each other, so plain closures over VO
+// fields are safe.
+func (r *Run) Add(w multiset.Multiset, clauseKey string, clauseW multiset.Multiset, assign func(accumulator.Proof)) {
+	r.tasks = append(r.tasks, task{w: w, clauseKey: clauseKey, clauseW: clauseW, assign: assign})
+}
+
+// Len returns the number of scheduled tasks.
+func (r *Run) Len() int { return len(r.tasks) }
+
+// Wait executes all scheduled tasks on up to `workers` goroutines
+// (workers <= 0 means the engine default) and invokes each task's
+// assign callback with its proof. The first error wins; remaining
+// successful assignments still happen. The run is empty afterwards
+// and may be reused.
+func (r *Run) Wait(workers int) error {
+	if len(r.tasks) == 0 {
+		return nil
+	}
+	tasks := r.tasks
+	r.tasks = nil
+	if workers <= 0 {
+		workers = r.e.workers
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		var firstErr error
+		for i := range tasks {
+			t := &tasks[i]
+			pf, err := r.e.Prove(t.w, t.clauseKey, t.clauseW)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			t.assign(pf)
+		}
+		return firstErr
+	}
+
+	type result struct {
+		idx int
+		pf  accumulator.Proof
+		err error
+	}
+	jobs := make(chan int)
+	results := make(chan result, len(tasks))
+	for w := 0; w < workers; w++ {
+		go func() {
+			for idx := range jobs {
+				t := &tasks[idx]
+				pf, err := r.e.Prove(t.w, t.clauseKey, t.clauseW)
+				results <- result{idx: idx, pf: pf, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := range tasks {
+			jobs <- i
+		}
+		close(jobs)
+	}()
+	var firstErr error
+	for range tasks {
+		res := <-results
+		if res.err != nil {
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			continue
+		}
+		// Serialized on the waiting goroutine: assigns never race.
+		tasks[res.idx].assign(res.pf)
+	}
+	return firstErr
+}
+
+// Aggregator groups same-clause mismatches across one query and proves
+// each group once over the multiset sum (§6.3 online batch
+// verification). Group indexes are assigned in insertion order.
+// Aggregators are not safe for concurrent use.
+type Aggregator struct {
+	e      *Engine
+	groups map[string]*aggGroup
+	order  []string
+}
+
+type aggGroup struct {
+	key     string
+	w       multiset.Multiset
+	clauseW multiset.Multiset
+	index   int
+	members int
+}
+
+// NewAggregator starts an empty aggregation.
+func (e *Engine) NewAggregator() *Aggregator {
+	return &Aggregator{e: e, groups: map[string]*aggGroup{}}
+}
+
+// Add registers a mismatching multiset under its clause and returns
+// the clause's group index (stable insertion order).
+func (a *Aggregator) Add(clauseKey string, w, clauseW multiset.Multiset) int {
+	g, ok := a.groups[clauseKey]
+	if !ok {
+		g = &aggGroup{key: clauseKey, w: multiset.Multiset{}, clauseW: clauseW, index: len(a.order)}
+		a.groups[clauseKey] = g
+		a.order = append(a.order, clauseKey)
+	}
+	g.w = multiset.Sum(g.w, w)
+	g.members++
+	return g.index
+}
+
+// Len returns the number of groups.
+func (a *Aggregator) Len() int { return len(a.order) }
+
+// Finalize computes one aggregated proof per group, in group-index
+// order. With a run, proofs are deferred to the worker pool (assign
+// fires during Run.Wait); otherwise they are computed inline and the
+// first failure aborts.
+func (a *Aggregator) Finalize(run *Run, assign func(index int, pf accumulator.Proof)) error {
+	a.e.mu.Lock()
+	a.e.stats.AggGroups += uint64(len(a.order))
+	a.e.mu.Unlock()
+	for _, k := range a.order {
+		g := a.groups[k]
+		if run != nil {
+			idx := g.index
+			run.Add(g.w, g.key, g.clauseW, func(pf accumulator.Proof) { assign(idx, pf) })
+			continue
+		}
+		pf, err := a.e.Prove(g.w, g.key, g.clauseW)
+		if err != nil {
+			return fmt.Errorf("proofs: aggregated proof for group %d: %w", g.index, err)
+		}
+		assign(g.index, pf)
+	}
+	return nil
+}

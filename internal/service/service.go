@@ -15,11 +15,12 @@ import (
 
 	"github.com/vchain-go/vchain/internal/chain"
 	"github.com/vchain-go/vchain/internal/core"
+	"github.com/vchain-go/vchain/internal/proofs"
 )
 
 // Request is a client → SP message.
 type Request struct {
-	// Kind is "headers" or "query".
+	// Kind is "headers", "query", or "stats".
 	Kind string
 	// FromHeight is the first header wanted (Kind == "headers").
 	FromHeight int
@@ -37,6 +38,9 @@ type Response struct {
 	Headers []chain.Header
 	// VO answers a query request.
 	VO *core.VO
+	// Stats answers a stats request with the SP's proof-engine
+	// counters.
+	Stats *proofs.Stats
 }
 
 // Server serves one full node's chain.
@@ -122,6 +126,9 @@ func (s *Server) process(req *Request) *Response {
 			return &Response{Err: err.Error()}
 		}
 		return &Response{VO: vo}
+	case "stats":
+		st := s.node.ProofEngine().Stats()
+		return &Response{Stats: &st}
 	default:
 		return &Response{Err: fmt.Sprintf("unknown request kind %q", req.Kind)}
 	}
@@ -196,6 +203,19 @@ func (c *Client) Query(q core.Query, batched bool) (*core.VO, error) {
 		return nil, errors.New("service: SP returned no VO")
 	}
 	return resp.VO, nil
+}
+
+// Stats fetches the SP's proof-engine counters (proofs computed,
+// cache hits/misses, aggregation groups).
+func (c *Client) Stats() (proofs.Stats, error) {
+	resp, err := c.roundTrip(&Request{Kind: "stats"})
+	if err != nil {
+		return proofs.Stats{}, err
+	}
+	if resp.Stats == nil {
+		return proofs.Stats{}, errors.New("service: SP returned no stats")
+	}
+	return *resp.Stats, nil
 }
 
 // Close disconnects.

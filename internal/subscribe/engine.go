@@ -7,6 +7,7 @@ import (
 	"github.com/vchain-go/vchain/internal/accumulator"
 	"github.com/vchain-go/vchain/internal/chain"
 	"github.com/vchain-go/vchain/internal/core"
+	"github.com/vchain-go/vchain/internal/proofs"
 )
 
 // Options configure the subscription engine.
@@ -28,6 +29,14 @@ type Options struct {
 	Dims, Width int
 	// MaxDepth caps IP-tree splitting; zero means 8.
 	MaxDepth int
+	// Proofs is the shared proof engine all disjointness proofs route
+	// through; pass the deployment-wide engine so subscriptions reuse
+	// proofs cached by time-window queries (and vice versa). Left nil,
+	// the engine creates a private one with Workers workers.
+	Proofs *proofs.Engine
+	// Workers sets the private engine's worker count when Proofs is
+	// nil; ignored otherwise.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -69,6 +78,13 @@ type Engine struct {
 	// Opts are the engine options.
 	Opts Options
 
+	// proofs computes, parallelizes, and memoizes every disjointness
+	// proof: across the queries sharing a block (on top of the
+	// IP-tree's structural sharing), across blocks of a lazy span, and
+	// — when the deployment shares one engine — across the one-shot SP
+	// paths too.
+	proofs *proofs.Engine
+
 	mu       sync.Mutex
 	subs     map[int]*subState
 	nextID   int
@@ -88,8 +104,16 @@ type subState struct {
 
 // NewEngine creates a subscription engine.
 func NewEngine(acc accumulator.Accumulator, opts Options) *Engine {
-	return &Engine{Acc: acc, Opts: opts.withDefaults(), subs: map[int]*subState{}}
+	opts = opts.withDefaults()
+	eng := opts.Proofs
+	if eng == nil {
+		eng = proofs.New(acc, proofs.Options{Workers: opts.Workers})
+	}
+	return &Engine{Acc: acc, Opts: opts, proofs: eng, subs: map[int]*subState{}}
 }
+
+// ProofStats returns a snapshot of the proof-engine counters.
+func (e *Engine) ProofStats() proofs.Stats { return e.proofs.Stats() }
 
 // Register adds a subscription query (its block window fields are
 // ignored) and returns its id.
@@ -197,7 +221,7 @@ func (e *Engine) ProcessBlock(ads *core.BlockADS, view core.ChainView) ([]Public
 			if !needed || g.Clause.Matches(ads.BlockW) {
 				continue
 			}
-			pf, err := e.Acc.ProveDisjoint(ads.BlockW, g.Clause.Multiset())
+			pf, err := e.proofs.Prove(ads.BlockW, g.Clause.Key(), g.Clause.Multiset())
 			if err != nil {
 				return nil, fmt.Errorf("subscribe: shared mismatch proof: %w", err)
 			}
@@ -212,18 +236,25 @@ func (e *Engine) ProcessBlock(ads *core.BlockADS, view core.ChainView) ([]Public
 			}
 		}
 	} else {
+		// Without the IP-tree every query decides independently;
+		// schedule the per-query block-mismatch proofs as one deferred
+		// run so they execute on the worker pool, with the engine cache
+		// deduplicating queries that happen to share a clause.
+		run := e.proofs.NewRun()
 		for id, s := range e.subs {
 			if clause, bad := s.cnf.FindMismatch(ads.BlockW); bad {
-				pf, err := e.Acc.ProveDisjoint(ads.BlockW, clause.Multiset())
-				if err != nil {
-					return nil, fmt.Errorf("subscribe: mismatch proof: %w", err)
-				}
-				decisions[id] = &decision{mismatch: true, clause: clause, proof: pf}
+				d := &decision{mismatch: true, clause: clause}
+				decisions[id] = d
+				run.Add(ads.BlockW, clause.Key(), clause.Multiset(),
+					func(pf accumulator.Proof) { d.proof = pf })
 			}
+		}
+		if err := run.Wait(0); err != nil {
+			return nil, fmt.Errorf("subscribe: mismatch proof: %w", err)
 		}
 	}
 
-	sp := &core.SP{Acc: e.Acc, View: view}
+	sp := &core.SP{Acc: e.Acc, View: view, Engine: e.proofs}
 	var pubs []Publication
 	for _, id := range sortedStateIDs(e.subs) {
 		s := e.subs[id]
@@ -297,7 +328,7 @@ func (e *Engine) push(s *subState, ads *core.BlockADS, bvo core.BlockVO, view co
 		ok := true
 		var clause core.Clause
 		sameClause := true
-		var proofs []accumulator.Proof
+		var pfs []accumulator.Proof
 		for j, b := range tail {
 			if b.Skip != nil || b.Tree == nil || b.Tree.Kind != core.KindMismatch ||
 				b.Height != ads.Height-d+1+j {
@@ -310,7 +341,7 @@ func (e *Engine) push(s *subState, ads *core.BlockADS, bvo core.BlockVO, view co
 				sameClause = false
 			}
 			if b.Tree.Proof != nil {
-				proofs = append(proofs, *b.Tree.Proof)
+				pfs = append(pfs, *b.Tree.Proof)
 			}
 		}
 		if !ok || clause == nil {
@@ -329,12 +360,12 @@ func (e *Engine) push(s *subState, ads *core.BlockADS, bvo core.BlockVO, view co
 		}
 		var pf accumulator.Proof
 		var err error
-		if sameClause && e.Acc.SupportsAgg() && len(proofs) == d {
+		if sameClause && e.Acc.SupportsAgg() && len(pfs) == d {
 			// Aggregate the already-computed per-block proofs (the
 			// ProofSum path of §7.2) instead of proving from scratch.
-			pf, err = e.Acc.ProofSum(proofs...)
+			pf, err = e.Acc.ProofSum(pfs...)
 		} else {
-			pf, err = e.Acc.ProveDisjoint(entry.W, clause.Multiset())
+			pf, err = e.proofs.Prove(entry.W, clause.Key(), clause.Multiset())
 		}
 		if err != nil {
 			continue

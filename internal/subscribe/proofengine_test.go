@@ -1,0 +1,81 @@
+package subscribe
+
+import (
+	"testing"
+
+	"github.com/vchain-go/vchain/internal/proofs"
+)
+
+// TestSharedEngineDeduplicatesAcrossQueries registers several
+// subscriptions with identical conditions and checks that the shared
+// proof engine computes each distinct (block multiset, clause) proof
+// once — the cross-query reuse the nip baseline lacked.
+func TestSharedEngineDeduplicatesAcrossQueries(t *testing.T) {
+	acc := acc2(t)
+	eng := proofs.New(acc, proofs.Options{Workers: 4})
+	never := func(int) bool { return false }
+	// No IP-tree: without the cache every query would prove its own
+	// block-mismatch proof every block.
+	opts := Options{Dims: 1, Width: testWidth, Proofs: eng}
+	f := run(t, acc, opts, 4, never, carQuery(), carQuery(), carQuery())
+
+	for id := 0; id < 3; id++ {
+		if _, covered := verifyAll(t, f, acc, carQuery(), id); len(covered) != 4 {
+			t.Fatalf("query %d covered %d heights, want 4", id, len(covered))
+		}
+	}
+	st := eng.Stats()
+	if st.CacheHits == 0 {
+		t.Fatalf("identical queries produced no cache hits: %+v", st)
+	}
+	// 3 identical queries over 4 blocks: at least 2/3 of lookups must
+	// be served from cache/single-flight.
+	if st.HitRate() < 0.5 {
+		t.Fatalf("hit rate %.2f too low for identical queries: %+v", st.HitRate(), st)
+	}
+}
+
+// TestSharedEngineParallelMatchesSerial checks that publications
+// produced with a parallel, cached engine verify identically to the
+// default serial path.
+func TestSharedEngineParallelMatchesSerial(t *testing.T) {
+	acc := acc2(t)
+	match := func(i int) bool { return i%2 == 0 }
+	queries := []struct {
+		name string
+		opts Options
+	}{
+		{"serial", Options{Dims: 1, Width: testWidth}},
+		{"parallel", Options{Dims: 1, Width: testWidth,
+			Proofs: proofs.New(acc, proofs.Options{Workers: 4})}},
+		{"parallel-iptree", Options{UseIPTree: true, Dims: 1, Width: testWidth,
+			Proofs: proofs.New(acc, proofs.Options{Workers: 4})}},
+	}
+	var wantResults, wantPubs int
+	for i, cfg := range queries {
+		f := run(t, acc, cfg.opts, 6, match, carQuery())
+		results, covered := verifyAll(t, f, acc, carQuery(), 0)
+		if len(covered) != 6 {
+			t.Fatalf("%s: covered %d heights", cfg.name, len(covered))
+		}
+		if i == 0 {
+			wantResults, wantPubs = results, len(f.pubs[0])
+			continue
+		}
+		if results != wantResults || len(f.pubs[0]) != wantPubs {
+			t.Fatalf("%s: %d results / %d pubs, want %d / %d",
+				cfg.name, results, len(f.pubs[0]), wantResults, wantPubs)
+		}
+	}
+}
+
+// TestEngineStatsExposed checks the ProofStats accessor counts work.
+func TestEngineStatsExposed(t *testing.T) {
+	acc := acc2(t)
+	never := func(int) bool { return false }
+	f := run(t, acc, Options{Dims: 1, Width: testWidth}, 3, never, carQuery())
+	st := f.engine.ProofStats()
+	if st.Proofs == 0 {
+		t.Fatalf("subscription processing computed no proofs: %+v", st)
+	}
+}

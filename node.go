@@ -25,10 +25,12 @@ func (s *System) NewFullNode() *FullNode {
 		SkipSize: s.cfg.SkipListSize,
 		Width:    s.cfg.BitWidth,
 	}
-	return &FullNode{
-		sys:  s,
-		node: core.NewFullNode(chain.Difficulty(s.cfg.Difficulty), builder),
-	}
+	node := core.NewFullNode(chain.Difficulty(s.cfg.Difficulty), builder)
+	// Every SP derived from this node shares the deployment's proof
+	// engine: repeated windows, batched queries, and subscriptions all
+	// reuse one proof cache and worker pool.
+	node.Proofs = s.proofs
+	return &FullNode{sys: s, node: node}
 }
 
 // Mine appends a block of objects with the given timestamp, returning
@@ -75,9 +77,10 @@ func (n *FullNode) WindowByTime(ts, te int64) (start, end int, ok bool) {
 
 // TimeWindowBatched answers with online batch verification enabled
 // (§6.3); it falls back to individual proofs when the configured
-// accumulator cannot aggregate.
+// accumulator cannot aggregate. Like TimeWindow, it honors
+// Config.SPWorkers for parallel proof computation.
 func (n *FullNode) TimeWindowBatched(q Query) (*VO, error) {
-	return n.node.SP(true).TimeWindowQuery(q)
+	return n.node.SPWith(true, n.sys.cfg.SPWorkers).TimeWindowQuery(q)
 }
 
 // SubscribeOptions configure the node's subscription engine. Changing
@@ -104,6 +107,7 @@ func (n *FullNode) Subscribe(q Query, opts SubscribeOptions) (int, error) {
 			LazyThreshold: opts.LazyThreshold,
 			Dims:          opts.Dims,
 			Width:         n.sys.cfg.BitWidth,
+			Proofs:        n.sys.proofs,
 		})
 	}
 	return n.engine.Register(q)

@@ -35,6 +35,7 @@ import (
 	"github.com/vchain-go/vchain/internal/chain"
 	"github.com/vchain-go/vchain/internal/core"
 	"github.com/vchain-go/vchain/internal/crypto/pairing"
+	"github.com/vchain-go/vchain/internal/proofs"
 	"github.com/vchain-go/vchain/internal/subscribe"
 )
 
@@ -61,13 +62,25 @@ type (
 	VO = core.VO
 	// Publication is a subscription delivery.
 	Publication = subscribe.Publication
-	// IndexMode selects the ADS indexes (IndexNil / IndexIntra /
+	// IndexMode selects the ADS indexes (IndexNone / IndexIntra /
 	// IndexBoth).
 	IndexMode = core.IndexMode
+	// ProofStats is a snapshot of the shared proof engine's counters
+	// (proofs computed, cache hits/misses, aggregation groups).
+	ProofStats = proofs.Stats
 )
 
-// Index modes (§5 basic, §6.1 intra-block, §6.2 inter-block).
+// Index modes (§5 basic, §6.1 intra-block, §6.2 inter-block). The zero
+// value of Config.Index means "default" (IndexBoth); use IndexNone to
+// explicitly disable all indexes.
 const (
+	// IndexNone disables both indexes (the basic scheme of §5). It is
+	// a config-only sentinel: Config maps it to the internal nil mode.
+	IndexNone IndexMode = -1
+	// IndexNil is the internal nil mode.
+	//
+	// Deprecated: as a Config.Index value it is indistinguishable from
+	// "unset" and defaults to IndexBoth; use IndexNone instead.
 	IndexNil   = core.ModeNil
 	IndexIntra = core.ModeIntra
 	IndexBoth  = core.ModeBoth
@@ -99,7 +112,8 @@ type Config struct {
 	// Accumulator picks the construction: "acc1" (q-SDH, §5.2.1) or
 	// "acc2" (q-DHE with aggregation, §5.2.2). Empty means "acc2".
 	Accumulator string
-	// Index selects the ADS indexes. Default IndexBoth.
+	// Index selects the ADS indexes. The zero value means IndexBoth;
+	// use IndexNone to explicitly disable all indexes.
 	Index IndexMode
 	// SkipListSize is ℓ, the number of inter-block skips (jumps 4, 8,
 	// …, 2^(ℓ+1)). Default 3. Ignored unless Index == IndexBoth.
@@ -116,6 +130,11 @@ type Config struct {
 	// SPWorkers is the SP's proof-computation worker count (the paper's
 	// SP runs 24 hyper-threads). Default 1 (inline).
 	SPWorkers int
+	// ProofCacheSize bounds the shared proof engine's LRU memoization
+	// cache: repeated (multiset, clause) disjointness proofs across
+	// queries, subscriptions, and blocks are served from it. 0 means
+	// the engine default (4096 entries); negative disables caching.
+	ProofCacheSize int
 	// Seed, when non-empty, derives the accumulator trapdoor
 	// deterministically (reproducible benchmarks and tests only).
 	Seed []byte
@@ -131,8 +150,14 @@ func (c Config) withDefaults() Config {
 	if c.Accumulator == "" {
 		c.Accumulator = "acc2"
 	}
-	if c.Index == 0 && c.SkipListSize == 0 {
+	// The zero value means "unset": default to both indexes. An
+	// explicit IndexNone maps to the internal nil mode. (Previously a
+	// set SkipListSize silently left Index at the nil zero value,
+	// disabling all indexes.)
+	if c.Index == 0 {
 		c.Index = IndexBoth
+	} else if c.Index == IndexNone {
+		c.Index = core.ModeNil
 	}
 	if c.SkipListSize == 0 {
 		c.SkipListSize = 3
@@ -152,9 +177,15 @@ func (c Config) withDefaults() Config {
 // System bundles the shared cryptographic state of one deployment. All
 // nodes and clients of the same chain must be created from the same
 // System (they share the accumulator public key).
+//
+// The System also owns the deployment's proof engine: one concurrent,
+// memoizing disjointness-proof subsystem shared by the time-window SP
+// paths, the batched path, and the subscription engine, so proofs are
+// computed once and reused across all of them.
 type System struct {
-	cfg Config
-	acc accumulator.Accumulator
+	cfg    Config
+	acc    accumulator.Accumulator
+	proofs *proofs.Engine
 }
 
 // NewSystem validates the configuration and runs the accumulator key
@@ -193,7 +224,8 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{cfg: cfg, acc: acc}, nil
+	eng := proofs.New(acc, proofs.Options{Workers: cfg.SPWorkers, CacheSize: cfg.ProofCacheSize})
+	return &System{cfg: cfg, acc: acc, proofs: eng}, nil
 }
 
 // Config returns the effective (defaulted) configuration.
@@ -201,3 +233,8 @@ func (s *System) Config() Config { return s.cfg }
 
 // Accumulator exposes the shared accumulator (public part).
 func (s *System) Accumulator() accumulator.Accumulator { return s.acc }
+
+// ProofStats returns a snapshot of the shared proof engine's counters:
+// proofs computed, cache hits/misses, evictions, and aggregation
+// groups across every SP path of this deployment.
+func (s *System) ProofStats() ProofStats { return s.proofs.Stats() }

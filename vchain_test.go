@@ -242,3 +242,70 @@ func TestConfigValidation(t *testing.T) {
 		t.Error("accumulator missing")
 	}
 }
+
+// TestConfigIndexDefaulting covers the former silent-nil bug: setting
+// only SkipListSize used to leave Index at the zero value (no indexes
+// at all); the zero value now always means IndexBoth, and IndexNone is
+// the explicit opt-out.
+func TestConfigIndexDefaulting(t *testing.T) {
+	sys, err := NewSystem(Config{Preset: "toy", SkipListSize: 2, Capacity: 64, Seed: []byte("d")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Config().Index; got != IndexBoth {
+		t.Errorf("SkipListSize-only config got Index %v, want IndexBoth", got)
+	}
+	sys, err = NewSystem(Config{Preset: "toy", Index: IndexNone, Capacity: 64, Seed: []byte("d")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Config().Index; got != IndexNil {
+		t.Errorf("IndexNone got Index %v, want the nil mode", got)
+	}
+	// An explicitly chosen mode is preserved.
+	sys, err = NewSystem(Config{Preset: "toy", Index: IndexIntra, Capacity: 64, Seed: []byte("d")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Config().Index; got != IndexIntra {
+		t.Errorf("explicit IndexIntra got %v", got)
+	}
+}
+
+// TestFacadeProofStats checks that the shared engine is really shared:
+// time-window, batched, and subscription traffic all land in one
+// stats snapshot, and repeated queries produce cache hits.
+func TestFacadeProofStats(t *testing.T) {
+	sys := testSystem(t, "acc2", IndexBoth)
+	node := sys.NewFullNode()
+	if _, err := node.Subscribe(Query{Bool: And(Or("sedan"), Or("tesla")), Width: 4}, SubscribeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := node.Mine(carBlock(i), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	afterSubs := sys.ProofStats()
+	if afterSubs.Proofs == 0 {
+		t.Fatalf("subscription processing did not reach the shared engine: %+v", afterSubs)
+	}
+
+	q := Query{StartBlock: 0, EndBlock: 2, Bool: And(Or("sedan")), Width: 4}
+	if _, err := node.TimeWindow(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.TimeWindow(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.TimeWindowBatched(q); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.ProofStats()
+	if st.CacheHits == 0 {
+		t.Errorf("repeated window produced no cache hits: %+v", st)
+	}
+	if st.CacheMisses <= afterSubs.CacheMisses && st.CacheHits <= afterSubs.CacheHits {
+		t.Errorf("time-window traffic did not reach the shared engine: %+v vs %+v", st, afterSubs)
+	}
+}
