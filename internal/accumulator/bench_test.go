@@ -1,0 +1,85 @@
+package accumulator
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/vchain-go/vchain/internal/crypto/pairing"
+	"github.com/vchain-go/vchain/internal/multiset"
+)
+
+// benchMultiset builds a deterministic multiset of n distinct elements.
+func benchMultiset(prefix string, n int) multiset.Multiset {
+	elems := make([]string, n)
+	for i := range elems {
+		elems[i] = fmt.Sprintf("%s-%04d", prefix, i)
+	}
+	return multiset.New(elems...)
+}
+
+// BenchmarkProveDisjointCon1 measures the q-SDH disjointness proof for
+// a window-sized multiset against a clause-sized one — the SP's hot
+// operation under Construction 1. The toy preset (128-bit field) keeps
+// CI fast; the default preset (512-bit field, the README's evaluation
+// setting) is where Jacobian coordinates pay off hardest, because
+// modular inversions cost ~11 multiplications there versus ~3.5 on the
+// toy field.
+func BenchmarkProveDisjointCon1(b *testing.B) {
+	w := benchMultiset("w", 64)
+	clause := benchMultiset("c", 4)
+	for _, preset := range []string{"toy", "default"} {
+		acc := KeyGenCon1Deterministic(pairing.ByName(preset), 128, []byte("bench"))
+		b.Run(preset, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := acc.ProveDisjoint(w, clause); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkProveDisjointCon2 measures the q-DHE disjointness proof.
+func BenchmarkProveDisjointCon2(b *testing.B) {
+	w := benchMultiset("w", 64)
+	clause := benchMultiset("c", 4)
+	for _, preset := range []string{"toy", "default"} {
+		q := 4096
+		acc := KeyGenCon2Deterministic(pairing.ByName(preset), q, HashEncoder{Q: q}, []byte("bench"))
+		b.Run(preset, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := acc.ProveDisjoint(w, clause); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSetupCon1 measures accumulation (miner-side ADS cost).
+func BenchmarkSetupCon1(b *testing.B) {
+	acc := KeyGenCon1Deterministic(pairing.Toy(), 256, []byte("bench"))
+	w := benchMultiset("w", 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := acc.Setup(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKeyGen measures trusted setup: q (resp. 2q−2) fixed-base
+// scalar multiplications.
+func BenchmarkKeyGen(b *testing.B) {
+	pr := pairing.Toy()
+	b.Run("con1/q=256", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			KeyGenCon1Deterministic(pr, 256, []byte("bench"))
+		}
+	})
+	b.Run("con2/q=256", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			KeyGenCon2Deterministic(pr, 256, HashEncoder{Q: 256}, []byte("bench"))
+		}
+	})
+}

@@ -4,12 +4,18 @@ import (
 	"crypto/rand"
 	"fmt"
 	"math/big"
+	"runtime"
+	"sync"
 
 	"github.com/vchain-go/vchain/internal/crypto/ec"
 	"github.com/vchain-go/vchain/internal/crypto/pairing"
 	"github.com/vchain-go/vchain/internal/crypto/poly"
 	"github.com/vchain-go/vchain/internal/multiset"
 )
+
+// scalarCacheMax bounds the element→scalar caches; past it the cache is
+// reset wholesale (the vocabulary of a vChain workload is far smaller).
+const scalarCacheMax = 1 << 16
 
 // Con1 is Construction 1 (q-SDH based). Its public key is
 // (g, g^s, …, g^{s^q}); the capacity q bounds the cardinality of any
@@ -25,6 +31,12 @@ type Con1 struct {
 	ring *poly.Ring
 	// eGG caches ê(g, g), the right-hand side of every verification.
 	eGG pairing.GT
+	// scalarMu guards scalarCache: element string → hashed Z_r scalar.
+	// Every Setup/Prove re-hashes its whole multiset; proofs over the
+	// same windows hit the same elements over and over, so the SHA-256 +
+	// reduction is paid once per element. Cached values are read-only.
+	scalarMu    sync.RWMutex
+	scalarCache map[string]*big.Int
 }
 
 // KeyGenCon1 runs the trusted setup for Construction 1 with a fresh
@@ -54,23 +66,64 @@ func keyGenCon1WithTrapdoor(pr *pairing.Params, q int, s *big.Int) *Con1 {
 	}
 	pk := make([]ec.Point, q+1)
 	pk[0] = pr.G
+	powerBaseMuls(pr, s, pk[1:])
+	return &Con1{
+		pr:          pr,
+		q:           q,
+		pk:          pk,
+		ring:        poly.NewRing(pr.R),
+		eGG:         pr.PairBase(),
+		scalarCache: make(map[string]*big.Int),
+	}
+}
+
+// powerBaseMuls fills dst[i] = g^{s^{i+1}} for the shared trusted-setup
+// shape of both constructions: the powers of the trapdoor are chained
+// serially (cheap big.Int work), then the expensive fixed-base scalar
+// multiplications fan out across runtime.GOMAXPROCS(0) workers over one
+// immutable window table.
+func powerBaseMuls(pr *pairing.Params, s *big.Int, dst []ec.Point) {
+	n := len(dst)
+	if n == 0 {
+		return
+	}
 	// Every public-key element is a power of the same base; a
-	// fixed-base window table makes the q scalar multiplications ~4×
+	// fixed-base window table makes the n scalar multiplications ~4×
 	// cheaper.
 	fb := ec.NewFixedBase(pr.C, pr.G, pr.R.BitLen())
+	scalars := make([]*big.Int, n)
 	cur := new(big.Int).SetInt64(1)
-	for i := 1; i <= q; i++ {
-		cur.Mul(cur, s)
-		cur.Mod(cur, pr.R)
-		pk[i] = fb.Mul(cur)
+	for i := 0; i < n; i++ {
+		next := new(big.Int).Mul(cur, s)
+		next.Mod(next, pr.R)
+		scalars[i] = next
+		cur = next
 	}
-	return &Con1{
-		pr:   pr,
-		q:    q,
-		pk:   pk,
-		ring: poly.NewRing(pr.R),
-		eGG:  pr.PairBase(),
+	js := make([]ec.JacPoint, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
 	}
+	if workers <= 1 {
+		for i, k := range scalars {
+			js[i] = fb.MulJac(k)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(start int) {
+				defer wg.Done()
+				for i := start; i < n; i += workers {
+					js[i] = fb.MulJac(scalars[i])
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	// One batch inversion for the whole public key instead of one per
+	// element.
+	copy(dst, pr.C.NormalizeJac(js))
 }
 
 // Name implements Accumulator.
@@ -82,12 +135,30 @@ func (c *Con1) Capacity() int { return c.q }
 // Params exposes the pairing parameters (needed by VO size accounting).
 func (c *Con1) Params() *pairing.Params { return c.pr }
 
+// elemScalar hashes one element into Z_r*, memoized across calls.
+func (c *Con1) elemScalar(e string) *big.Int {
+	c.scalarMu.RLock()
+	v, ok := c.scalarCache[e]
+	c.scalarMu.RUnlock()
+	if ok {
+		return v
+	}
+	v = c.pr.RandScalar([]byte(e))
+	c.scalarMu.Lock()
+	if len(c.scalarCache) >= scalarCacheMax {
+		c.scalarCache = make(map[string]*big.Int)
+	}
+	c.scalarCache[e] = v
+	c.scalarMu.Unlock()
+	return v
+}
+
 // elemScalars hashes each occurrence of the multiset into Z_r*.
 func (c *Con1) elemScalars(x multiset.Multiset) []*big.Int {
 	occ := x.Expand()
 	out := make([]*big.Int, len(occ))
 	for i, e := range occ {
-		out[i] = c.pr.RandScalar([]byte(e))
+		out[i] = c.elemScalar(e)
 	}
 	return out
 }
@@ -98,20 +169,23 @@ func (c *Con1) charPoly(x multiset.Multiset) poly.Poly {
 }
 
 // commit evaluates g^{P(s)} in the exponent using the public key:
-// g^{Σ c_i s^i} = ∏ pk[i]^{c_i}.
+// g^{Σ c_i s^i} = ∏ pk[i]^{c_i}, as one multi-scalar multiplication
+// (Pippenger) instead of a scalar multiplication per coefficient.
 func (c *Con1) commit(p poly.Poly) (ec.Point, error) {
 	if p.Degree() > c.q {
 		return ec.Point{}, capErr("polynomial degree", p.Degree(), c.q)
 	}
-	acc := c.pr.C.Infinity()
+	pts := make([]ec.Point, 0, p.Degree()+1)
+	ks := make([]*big.Int, 0, p.Degree()+1)
 	for i := 0; i <= p.Degree(); i++ {
 		ci := p.Coeff(i)
 		if ci.Sign() == 0 {
 			continue
 		}
-		acc = c.pr.C.Add(acc, c.pr.C.ScalarMul(c.pk[i], ci))
+		pts = append(pts, c.pk[i])
+		ks = append(ks, ci)
 	}
-	return acc, nil
+	return c.pr.C.MultiScalarMul(pts, ks), nil
 }
 
 // Setup implements Accumulator: acc(X) = g^{∏ (x_i + s)}.

@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"fmt"
 	"math/big"
+	"sync"
 
 	"github.com/vchain-go/vchain/internal/crypto/ec"
 	"github.com/vchain-go/vchain/internal/crypto/pairing"
@@ -25,6 +26,11 @@ type Con2 struct {
 	pk []ec.Point
 	// enc maps attribute strings into [1, q−1].
 	enc ElementEncoder
+	// encMu guards encCache, a memo of enc.Encode results. Only enabled
+	// for the stateless HashEncoder: a DictEncoder's assignment can be
+	// replaced wholesale through Restore, which would leave a memo stale.
+	encMu    sync.RWMutex
+	encCache map[string]int
 }
 
 // KeyGenCon2 runs the trusted setup for Construction 2 with a fresh
@@ -56,20 +62,15 @@ func keyGenCon2WithTrapdoor(pr *pairing.Params, q int, enc ElementEncoder, s *bi
 	}
 	pk := make([]ec.Point, 2*q-1)
 	pk[0] = pr.G
-	fb := ec.NewFixedBase(pr.C, pr.G, pr.R.BitLen())
-	cur := new(big.Int).SetInt64(1)
-	for i := 1; i <= 2*q-2; i++ {
-		cur.Mul(cur, s)
-		cur.Mod(cur, pr.R)
-		if i == q {
-			// The hole: the q-th power must not be published. Keep the
-			// running power of s correct but store the identity.
-			pk[i] = pr.C.Infinity()
-			continue
-		}
-		pk[i] = fb.Mul(cur)
+	powerBaseMuls(pr, s, pk[1:])
+	// The hole: the q-th power must not be published. Overwrite it with
+	// the identity (powerBaseMuls fills every slot).
+	pk[q] = pr.C.Infinity()
+	c := &Con2{pr: pr, q: q, pk: pk, enc: enc}
+	if _, stateless := enc.(HashEncoder); stateless {
+		c.encCache = make(map[string]int)
 	}
-	return &Con2{pr: pr, q: q, pk: pk, enc: enc}
+	return c
 }
 
 // Name implements Accumulator.
@@ -84,12 +85,37 @@ func (c *Con2) Params() *pairing.Params { return c.pr }
 // Encoder returns the element encoder (shared with verifiers).
 func (c *Con2) Encoder() ElementEncoder { return c.enc }
 
+// encodeElem runs the encoder for one element, through the memo when
+// the encoder is stateless.
+func (c *Con2) encodeElem(e string) (int, error) {
+	if c.encCache == nil {
+		return c.enc.Encode(e)
+	}
+	c.encMu.RLock()
+	v, ok := c.encCache[e]
+	c.encMu.RUnlock()
+	if ok {
+		return v, nil
+	}
+	v, err := c.enc.Encode(e)
+	if err != nil {
+		return 0, err
+	}
+	c.encMu.Lock()
+	if len(c.encCache) >= scalarCacheMax {
+		c.encCache = make(map[string]int)
+	}
+	c.encCache[e] = v
+	c.encMu.Unlock()
+	return v, nil
+}
+
 // encode maps every occurrence of x into the integer domain, with
 // multiplicities preserved.
 func (c *Con2) encode(x multiset.Multiset) (map[int]int, error) {
 	out := make(map[int]int, x.Len())
 	for _, e := range x.Elements() {
-		v, err := c.enc.Encode(e)
+		v, err := c.encodeElem(e)
 		if err != nil {
 			return nil, err
 		}
@@ -108,13 +134,16 @@ func (c *Con2) Setup(x multiset.Multiset) (Acc, error) {
 	if err != nil {
 		return Acc{}, err
 	}
-	da := c.pr.C.Infinity()
-	db := c.pr.C.Infinity()
+	ptsA := make([]ec.Point, 0, len(enc))
+	ptsB := make([]ec.Point, 0, len(enc))
+	ks := make([]*big.Int, 0, len(enc))
 	for v, m := range enc {
-		mul := big.NewInt(int64(m))
-		da = c.pr.C.Add(da, c.pr.C.ScalarMul(c.pk[v], mul))
-		db = c.pr.C.Add(db, c.pr.C.ScalarMul(c.pk[c.q-v], mul))
+		ptsA = append(ptsA, c.pk[v])
+		ptsB = append(ptsB, c.pk[c.q-v])
+		ks = append(ks, big.NewInt(int64(m)))
 	}
+	da := c.pr.C.MultiScalarMul(ptsA, ks)
+	db := c.pr.C.MultiScalarMul(ptsB, ks)
 	return Acc{A: da, B: db}, nil
 }
 
@@ -145,14 +174,16 @@ func (c *Con2) ProveDisjoint(x1, x2 multiset.Multiset) (Proof, error) {
 			idx[c.q+v1-v2] += int64(m1) * int64(m2)
 		}
 	}
-	pi := c.pr.C.Infinity()
+	pts := make([]ec.Point, 0, len(idx))
+	ks := make([]*big.Int, 0, len(idx))
 	for i, m := range idx {
 		if i == c.q {
 			return Proof{}, ErrNotDisjoint // defensive: cannot happen after the check above
 		}
-		pi = c.pr.C.Add(pi, c.pr.C.ScalarMul(c.pk[i], big.NewInt(m)))
+		pts = append(pts, c.pk[i])
+		ks = append(ks, big.NewInt(m))
 	}
-	return Proof{F1: pi, F2: c.pr.C.Infinity()}, nil
+	return Proof{F1: c.pr.C.MultiScalarMul(pts, ks), F2: c.pr.C.Infinity()}, nil
 }
 
 // VerifyDisjoint implements Accumulator: ê(dA(X1), dB(X2)) =? ê(π, g).

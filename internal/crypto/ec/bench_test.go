@@ -1,0 +1,136 @@
+package ec
+
+import (
+	"crypto/sha256"
+	"math/big"
+	"testing"
+
+	"github.com/vchain-go/vchain/internal/crypto/ff"
+)
+
+// benchCurve is a 256-bit curve found the same way the pairing package
+// finds its parameters: p = 12k − 1 for the first prime of that form at
+// or above a fixed seed, giving p ≡ 2 (mod 3) and p ≡ 3 (mod 4). The
+// tiny test prime would make modular arithmetic unrealistically cheap.
+var benchCurveOnce *Curve
+
+func benchCurve() *Curve {
+	if benchCurveOnce != nil {
+		return benchCurveOnce
+	}
+	seed := sha256.Sum256([]byte("ec/bench/prime"))
+	k := new(big.Int).SetBytes(seed[:])
+	k.Rsh(k, 256-252) // 252-bit k so 12k has 256 bits
+	p := new(big.Int)
+	one := big.NewInt(1)
+	twelve := big.NewInt(12)
+	for {
+		p.Mul(twelve, k)
+		p.Sub(p, one)
+		if p.ProbablyPrime(64) {
+			break
+		}
+		k.Add(k, one)
+	}
+	benchCurveOnce = NewCurve(ff.NewField(p))
+	return benchCurveOnce
+}
+
+// benchScalars derives n deterministic 160-bit scalars (the width of
+// the default pairing preset's group order).
+func benchScalars(n int) []*big.Int {
+	out := make([]*big.Int, n)
+	h := sha256.Sum256([]byte("ec/bench/scalar"))
+	for i := range out {
+		buf := append(h[:20:20], byte(i), byte(i>>8))
+		h = sha256.Sum256(buf)
+		out[i] = new(big.Int).SetBytes(h[:20])
+	}
+	return out
+}
+
+// benchPoints derives n deterministic curve points.
+func benchPoints(c *Curve, n int) []Point {
+	out := make([]Point, n)
+	base := c.HashToPoint([]byte("ec/bench/point"), sha)
+	ks := benchScalars(n)
+	for i := range out {
+		out[i] = c.ScalarMul(base, ks[i])
+	}
+	return out
+}
+
+// BenchmarkScalarMul measures single-point scalar multiplication with a
+// 160-bit scalar on the 256-bit bench curve.
+func BenchmarkScalarMul(b *testing.B) {
+	c := benchCurve()
+	p := c.HashToPoint([]byte("ec/bench/base"), sha)
+	k := benchScalars(1)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ScalarMul(p, k)
+	}
+}
+
+// msmAffineLoop is the seed's per-coefficient loop MultiScalarMul
+// replaces: affine double-and-add (an inversion per group operation)
+// plus one affine Add per term, exactly what Con1.commit and Con2.Setup
+// used to do before the Jacobian rewrite.
+func msmAffineLoop(c *Curve, points []Point, scalars []*big.Int) Point {
+	acc := c.Infinity()
+	for i := range points {
+		term := c.Infinity()
+		k := scalars[i]
+		for b := k.BitLen() - 1; b >= 0; b-- {
+			term = c.Double(term)
+			if k.Bit(b) == 1 {
+				term = c.Add(term, points[i])
+			}
+		}
+		acc = c.Add(acc, term)
+	}
+	return acc
+}
+
+// msmWNAFLoop is the intermediate comparison: per-point wNAF (already
+// Jacobian inside) with affine accumulation — what the consumers would
+// cost with the new ScalarMul but without Pippenger batching.
+func msmWNAFLoop(c *Curve, points []Point, scalars []*big.Int) Point {
+	acc := c.Infinity()
+	for i := range points {
+		acc = c.Add(acc, c.ScalarMul(points[i], scalars[i]))
+	}
+	return acc
+}
+
+// BenchmarkMSM compares Pippenger multi-scalar multiplication with the
+// seed's affine loop and a per-point wNAF loop at the sizes the
+// accumulator layers see.
+func BenchmarkMSM(b *testing.B) {
+	c := benchCurve()
+	for _, n := range []int{16, 256, 4096} {
+		pts := benchPoints(c, n)
+		ks := benchScalars(n)
+		b.Run(sizeLabel("n", n)+"/pippenger", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.MultiScalarMul(pts, ks)
+			}
+		})
+		if n <= 256 { // the loops at 4096 are too slow to be useful
+			b.Run(sizeLabel("n", n)+"/wnaf-loop", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					msmWNAFLoop(c, pts, ks)
+				}
+			})
+			b.Run(sizeLabel("n", n)+"/affine-loop", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					msmAffineLoop(c, pts, ks)
+				}
+			})
+		}
+	}
+}
+
+func sizeLabel(k string, n int) string {
+	return k + "=" + big.NewInt(int64(n)).String()
+}

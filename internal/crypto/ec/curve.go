@@ -125,19 +125,20 @@ func (c *Curve) Double(p Point) Point {
 	return Point{X: x3, Y: y3}
 }
 
-// ScalarMul returns k·p via double-and-add. Negative k negates the point.
+// ScalarMul returns k·p via a windowed non-adjacent form over Jacobian
+// coordinates (see msm.go) — zero inversions inside the loop instead of
+// one per bit. Negative k negates the point.
 func (c *Curve) ScalarMul(p Point, k *big.Int) Point {
 	if k.Sign() < 0 {
 		return c.ScalarMul(c.Neg(p), new(big.Int).Neg(k))
 	}
-	r := c.Infinity()
-	for i := k.BitLen() - 1; i >= 0; i-- {
-		r = c.Double(r)
-		if k.Bit(i) == 1 {
-			r = c.Add(r, p)
-		}
+	if p.Inf || k.Sign() == 0 {
+		return c.Infinity()
 	}
-	return r
+	if k.BitLen() == 1 {
+		return p // k = 1, the dominant case of multiplicity exponents
+	}
+	return c.scalarMulWNAF(p, k)
 }
 
 // HashToPoint maps a byte string onto the curve by hashing to an x

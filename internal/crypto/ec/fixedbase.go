@@ -4,83 +4,98 @@ import "math/big"
 
 // FixedBase precomputes window tables for repeated scalar
 // multiplication of one base point — the access pattern of accumulator
-// key generation, which computes g^{s^i} for thousands of i. A 4-bit
-// windowed table trades 15 precomputed points per window for ~4× fewer
-// group operations per multiplication.
+// key generation, which computes g^{s^i} for thousands of i. A 5-bit
+// windowed table trades 31 precomputed points per window for one mixed
+// addition per 5 scalar bits; each multiplication then runs entirely in
+// Jacobian coordinates (a single inversion at the end).
+//
+// A built FixedBase is immutable and safe for concurrent Mul calls,
+// which is what lets key generation fan the q fixed-base
+// multiplications out across CPUs.
 type FixedBase struct {
 	c *Curve
-	// table[w][d] = (d+1) · 2^(4w) · base, for digit d ∈ [1, 15].
-	table [][15]Point
-	// windows is the number of 4-bit windows covered.
+	// table[w][d] = (d+1) · 2^(5w) · base, for digit d ∈ [1, 31].
+	table [][]Point
+	// windows is the number of 5-bit windows covered.
 	windows int
 }
 
 // windowBits is the fixed window width.
-const windowBits = 4
+const windowBits = 5
 
-// NewFixedBase builds tables for scalars up to maxBits wide.
+// windowSize is the number of table entries per window (non-zero digits).
+const windowSize = 1<<windowBits - 1
+
+// NewFixedBase builds tables for scalars up to maxBits wide. The table
+// itself is built in Jacobian form and normalized to affine with one
+// batch inversion, instead of paying an inversion per entry.
 func NewFixedBase(c *Curve, base Point, maxBits int) *FixedBase {
 	windows := (maxBits + windowBits - 1) / windowBits
 	if windows < 1 {
 		windows = 1
 	}
-	fb := &FixedBase{c: c, windows: windows, table: make([][15]Point, windows)}
-	cur := base
+	fb := &FixedBase{c: c, windows: windows, table: make([][]Point, windows)}
+	rows := make([]JacPoint, 0, windows*windowSize)
+	cur := c.ToJac(base)
 	for w := 0; w < windows; w++ {
-		acc := c.Infinity()
-		for d := 0; d < 15; d++ {
-			acc = c.Add(acc, cur)
-			fb.table[w][d] = acc
+		var acc JacPoint
+		for d := 0; d < windowSize; d++ {
+			acc = c.JacAdd(acc, cur)
+			rows = append(rows, acc)
 		}
-		// Advance cur to 2^4 · cur for the next window.
+		// Advance cur to 2^windowBits · cur for the next window.
 		for i := 0; i < windowBits; i++ {
-			cur = c.Double(cur)
+			cur = c.JacDouble(cur)
 		}
+	}
+	aff := c.NormalizeJac(rows)
+	for w := 0; w < windows; w++ {
+		fb.table[w] = aff[w*windowSize : (w+1)*windowSize]
 	}
 	return fb
 }
 
 // Mul returns k·base. Scalars wider than the precomputed range fall
-// back to generic double-and-add for the excess bits.
+// back to generic scalar multiplication for the excess bits.
 func (fb *FixedBase) Mul(k *big.Int) Point {
+	return fb.c.FromJac(fb.MulJac(k))
+}
+
+// MulJac is Mul without the final affine conversion, letting callers
+// that perform many fixed-base multiplications (key generation) batch
+// the normalization into one inversion via NormalizeJac.
+func (fb *FixedBase) MulJac(k *big.Int) JacPoint {
 	if k.Sign() == 0 {
-		return fb.c.Infinity()
+		return JacPoint{}
 	}
 	neg := false
 	if k.Sign() < 0 {
 		neg = true
 		k = new(big.Int).Neg(k)
 	}
-	out := fb.c.Infinity()
-	words := k.Bits()
-	_ = words
+	var acc JacPoint
 	nWindows := (k.BitLen() + windowBits - 1) / windowBits
 	for w := 0; w < nWindows && w < fb.windows; w++ {
-		d := 0
-		for b := 0; b < windowBits; b++ {
-			if k.Bit(w*windowBits+b) == 1 {
-				d |= 1 << uint(b)
-			}
-		}
-		if d > 0 {
-			out = fb.c.Add(out, fb.table[w][d-1])
+		if d := scalarDigit(k, w*windowBits, windowBits); d > 0 {
+			acc = fb.c.JacAddMixed(acc, fb.table[w][d-1])
 		}
 	}
 	if nWindows > fb.windows {
 		// Excess high bits: handle generically on the shifted remainder.
 		rem := new(big.Int).Rsh(k, uint(fb.windows*windowBits))
 		if rem.Sign() > 0 {
-			// base·2^(windows·4) is the next window's generator; rebuild
-			// it from the last table entry: table[last][0] = 2^(4(w-1))·base.
-			high := fb.table[fb.windows-1][0]
+			// base·2^(windows·windowBits) is the next window's generator;
+			// rebuild it from the last table entry:
+			// table[last][0] = 2^(windowBits·(windows−1))·base.
+			high := fb.c.ToJac(fb.table[fb.windows-1][0])
 			for i := 0; i < windowBits; i++ {
-				high = fb.c.Double(high)
+				high = fb.c.JacDouble(high)
 			}
-			out = fb.c.Add(out, fb.c.ScalarMul(high, rem))
+			acc = fb.c.JacAdd(acc, fb.c.ToJac(fb.c.ScalarMul(fb.c.FromJac(high), rem)))
 		}
 	}
 	if neg {
-		out = fb.c.Neg(out)
+		acc = fb.c.JacNeg(acc)
 	}
-	return out
+	return acc
 }

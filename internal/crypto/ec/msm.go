@@ -1,0 +1,291 @@
+package ec
+
+import (
+	"math/big"
+	"runtime"
+	"sync"
+)
+
+// msmWindowBits picks the Pippenger bucket width for n points. The
+// classic trade-off: each extra bit halves the number of windows but
+// doubles the bucket count. Thresholds minimize the operation count
+// windows·(n + 2·2^w), biased one notch low because the bucket-combine
+// additions are full Jacobian adds while the fills are cheaper mixed
+// adds.
+func msmWindowBits(n int) int {
+	switch {
+	case n < 8:
+		return 2
+	case n < 32:
+		return 3
+	case n < 128:
+		return 4
+	case n < 512:
+		return 5
+	case n < 1024:
+		return 6
+	case n < 4096:
+		return 7
+	case n < 16384:
+		return 9
+	default:
+		return 11
+	}
+}
+
+// msmParallelMin is the input size below which spawning per-window
+// goroutines costs more than it saves.
+const msmParallelMin = 64
+
+// msmSlots globally bounds the extra goroutines all concurrent
+// MultiScalarMul calls may spawn, sized to the scheduler's processor
+// count (which, unlike NumCPU, honors an operator's GOMAXPROCS cap).
+var msmSlots = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+// MultiScalarMul returns Σ scalars[i]·points[i] by the Pippenger bucket
+// method: for each w-bit window of the scalars, points sharing a digit
+// value are collected into a bucket with one mixed addition each, and
+// the buckets are combined with a running sum — O(n + 2^w) group
+// operations per window instead of n scalar multiplications total. All
+// accumulation happens in Jacobian coordinates (no inversions); the
+// single conversion back to affine pays the only inversion. Windows are
+// computed in parallel when the input is large enough and more than one
+// CPU is available.
+//
+// Infinity points and zero (or nil) scalars contribute nothing;
+// negative scalars negate their point. Slices must have equal length.
+func (c *Curve) MultiScalarMul(points []Point, scalars []*big.Int) Point {
+	if len(points) != len(scalars) {
+		panic("ec: MultiScalarMul: len(points) != len(scalars)")
+	}
+	pts := make([]Point, 0, len(points))
+	ks := make([]*big.Int, 0, len(points))
+	maxBits := 0
+	for i, p := range points {
+		k := scalars[i]
+		if p.Inf || k == nil || k.Sign() == 0 {
+			continue
+		}
+		if k.Sign() < 0 {
+			p = c.Neg(p)
+			k = new(big.Int).Neg(k)
+		}
+		pts = append(pts, p)
+		ks = append(ks, k)
+		if b := k.BitLen(); b > maxBits {
+			maxBits = b
+		}
+	}
+	switch len(pts) {
+	case 0:
+		return c.Infinity()
+	case 1:
+		return c.ScalarMul(pts[0], ks[0])
+	}
+	if maxBits == 1 {
+		return c.sumAll(pts)
+	}
+	if maxBits <= msmSmallScalarBits && c.invCostMuls()+3 < jacMixedAddMuls {
+		return c.msmSmallAffine(pts, ks, maxBits)
+	}
+
+	w := msmWindowBits(len(pts))
+	nWindows := (maxBits + w - 1) / w
+	sums := make([]JacPoint, nWindows)
+	windowSum := func(wi int) JacPoint {
+		buckets := make([]JacPoint, (1<<w)-1) // zero value = infinity
+		for i, k := range ks {
+			if d := scalarDigit(k, wi*w, w); d != 0 {
+				buckets[d-1] = c.JacAddMixed(buckets[d-1], pts[i])
+			}
+		}
+		// Σ (d+1)·buckets[d] via the running-sum trick: walking the
+		// buckets top-down, `running` has been added to `sum` once per
+		// bucket at or above it, weighting each bucket by its digit.
+		var running, sum JacPoint
+		for j := len(buckets) - 1; j >= 0; j-- {
+			running = c.JacAdd(running, buckets[j])
+			sum = c.JacAdd(sum, running)
+		}
+		return sum
+	}
+
+	if runtime.GOMAXPROCS(0) > 1 && nWindows > 1 && len(pts) >= msmParallelMin {
+		// Windows whose slot acquisition fails are computed inline, so
+		// concurrent MSMs (e.g. from the proof engine's worker pool)
+		// degrade to sequential instead of oversubscribing the host.
+		var wg sync.WaitGroup
+		for wi := range sums {
+			select {
+			case msmSlots <- struct{}{}:
+				wg.Add(1)
+				go func(wi int) {
+					defer wg.Done()
+					sums[wi] = windowSum(wi)
+					<-msmSlots
+				}(wi)
+			default:
+				sums[wi] = windowSum(wi)
+			}
+		}
+		wg.Wait()
+	} else {
+		for wi := range sums {
+			sums[wi] = windowSum(wi)
+		}
+	}
+
+	var acc JacPoint
+	for wi := nWindows - 1; wi >= 0; wi-- {
+		for i := 0; i < w; i++ {
+			acc = c.JacDouble(acc)
+		}
+		acc = c.JacAdd(acc, sums[wi])
+	}
+	return c.FromJac(acc)
+}
+
+// invCostMuls estimates how many modular multiplications one field
+// inversion costs. Measured against math/big: ~3.5 on moduli up to two
+// 64-bit words, ~11 beyond — extended GCD scales more gently than
+// multiplication, so inversions get relatively cheaper as fields shrink.
+func (c *Curve) invCostMuls() int {
+	if c.F.P.BitLen() <= 128 {
+		return 4
+	}
+	return 11
+}
+
+// jacMixedAddMuls is the multiplication count of one mixed Jacobian
+// addition, the unit the cost models below compare against.
+const jacMixedAddMuls = 11
+
+// sumAll returns Σ points[i], choosing coordinates by cost: an affine
+// addition pays an inversion plus ~3 multiplications, a mixed Jacobian
+// addition ~11 multiplications with a single deferred inversion. On
+// small fields (cheap inversions) the affine chain wins outright; on
+// large fields Jacobian wins once a few additions share the final
+// inversion. This is the multiplicity-1 fast path of Construction 2's
+// Setup/ProveDisjoint, whose exponent multiplicities are almost always
+// exactly 1.
+func (c *Curve) sumAll(points []Point) Point {
+	n := len(points)
+	ic := c.invCostMuls()
+	if (n-1)*(ic+3) < (n-1)*jacMixedAddMuls+ic {
+		acc := points[0]
+		for _, p := range points[1:] {
+			acc = c.Add(acc, p)
+		}
+		return acc
+	}
+	var acc JacPoint
+	for _, p := range points {
+		acc = c.JacAddMixed(acc, p)
+	}
+	return c.FromJac(acc)
+}
+
+// msmSmallScalarBits bounds the scalar width of the affine bucket path:
+// one window, at most 15 buckets, scalars fit an int.
+const msmSmallScalarBits = 4
+
+// msmSmallAffine is the bucket method specialized for small scalars on
+// fields whose inversions are cheaper than a mixed Jacobian addition
+// (see invCostMuls): a single window of 2^maxBits − 1 buckets filled
+// and combined with affine additions. Construction 2's exponent
+// multiplicities land here on small parameter presets.
+func (c *Curve) msmSmallAffine(pts []Point, ks []*big.Int, maxBits int) Point {
+	buckets := make([]Point, (1<<maxBits)-1)
+	for i := range buckets {
+		buckets[i] = c.Infinity()
+	}
+	for i, k := range ks {
+		d := int(k.Int64())
+		buckets[d-1] = c.Add(buckets[d-1], pts[i])
+	}
+	running, sum := c.Infinity(), c.Infinity()
+	for j := len(buckets) - 1; j >= 0; j-- {
+		running = c.Add(running, buckets[j])
+		sum = c.Add(sum, running)
+	}
+	return sum
+}
+
+// scalarDigit extracts the w-bit digit of k starting at bit off.
+func scalarDigit(k *big.Int, off, w int) int {
+	d := 0
+	for b := 0; b < w; b++ {
+		if k.Bit(off+b) == 1 {
+			d |= 1 << b
+		}
+	}
+	return d
+}
+
+// wnafWidthFor sizes the wNAF window to the scalar: narrow scalars
+// don't amortize a big odd-multiples table.
+func wnafWidthFor(bits int) int {
+	switch {
+	case bits <= 8:
+		return 2
+	case bits <= 32:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// scalarMulWNAF computes k·p for k > 0 with a width-w non-adjacent form:
+// precompute the odd multiples P, 3P, …, (2^{w−1}−1)P (normalized to
+// affine with one batch inversion), then one Jacobian doubling per bit
+// and one mixed addition per ~(w+1) bits. Signed digits halve the table
+// relative to a plain window method because negation is free.
+func (c *Curve) scalarMulWNAF(p Point, k *big.Int) Point {
+	w := wnafWidthFor(k.BitLen())
+	digits := wnafDigits(k, w)
+	tableSize := 1 << (w - 2)
+	jtab := make([]JacPoint, tableSize)
+	jtab[0] = c.ToJac(p)
+	if tableSize > 1 {
+		twoP := c.JacDouble(jtab[0])
+		for i := 1; i < tableSize; i++ {
+			jtab[i] = c.JacAdd(jtab[i-1], twoP)
+		}
+	}
+	tab := c.NormalizeJac(jtab)
+	var acc JacPoint
+	for i := len(digits) - 1; i >= 0; i-- {
+		acc = c.JacDouble(acc)
+		if d := digits[i]; d > 0 {
+			acc = c.JacAddMixed(acc, tab[(d-1)/2])
+		} else if d < 0 {
+			acc = c.JacAddMixed(acc, c.Neg(tab[(-d-1)/2]))
+		}
+	}
+	return c.FromJac(acc)
+}
+
+// wnafDigits returns the width-w non-adjacent form of k > 0, least
+// significant digit first. Non-zero digits are odd, lie in
+// (−2^{w−1}, 2^{w−1}), and are separated by at least w−1 zeros.
+func wnafDigits(k *big.Int, w int) []int8 {
+	out := make([]int8, 0, k.BitLen()+1)
+	kk := new(big.Int).Set(k)
+	mod := int64(1) << w
+	half := mod >> 1
+	t := new(big.Int)
+	for kk.Sign() > 0 {
+		if kk.Bit(0) == 1 {
+			d := int64(scalarDigit(kk, 0, w))
+			if d >= half {
+				d -= mod
+			}
+			out = append(out, int8(d))
+			kk.Sub(kk, t.SetInt64(d))
+		} else {
+			out = append(out, 0)
+		}
+		kk.Rsh(kk, 1)
+	}
+	return out
+}

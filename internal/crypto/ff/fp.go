@@ -69,21 +69,37 @@ func (e Elt) Big() *big.Int {
 	return new(big.Int).Set(e.v)
 }
 
+// eltZero backs raw() for zero-valued elements. It is read-only: raw()
+// callers never pass the result as a math/big receiver.
+var eltZero = new(big.Int)
+
+// raw returns the representative without copying. Field ops read their
+// operands and write only fresh receivers, so sharing is safe; the copy
+// in Big() exists for external callers that might mutate. Profiling the
+// Jacobian group formulas showed those defensive copies costing more
+// than the modular reductions themselves.
+func (e Elt) raw() *big.Int {
+	if e.v == nil {
+		return eltZero
+	}
+	return e.v
+}
+
 // IsZero reports whether e is the additive identity.
 func (e Elt) IsZero() bool { return e.v == nil || e.v.Sign() == 0 }
 
 // Equal reports whether two elements are identical.
 func (e Elt) Equal(o Elt) bool {
-	return e.Big().Cmp(o.Big()) == 0
+	return e.raw().Cmp(o.raw()) == 0
 }
 
 func (e Elt) String() string {
-	return e.Big().String()
+	return e.raw().String()
 }
 
 // Add returns a+b.
 func (f *Field) Add(a, b Elt) Elt {
-	r := new(big.Int).Add(a.Big(), b.Big())
+	r := new(big.Int).Add(a.raw(), b.raw())
 	if r.Cmp(f.P) >= 0 {
 		r.Sub(r, f.P)
 	}
@@ -92,7 +108,7 @@ func (f *Field) Add(a, b Elt) Elt {
 
 // Sub returns a-b.
 func (f *Field) Sub(a, b Elt) Elt {
-	r := new(big.Int).Sub(a.Big(), b.Big())
+	r := new(big.Int).Sub(a.raw(), b.raw())
 	if r.Sign() < 0 {
 		r.Add(r, f.P)
 	}
@@ -104,12 +120,12 @@ func (f *Field) Neg(a Elt) Elt {
 	if a.IsZero() {
 		return f.Zero()
 	}
-	return Elt{v: new(big.Int).Sub(f.P, a.Big())}
+	return Elt{v: new(big.Int).Sub(f.P, a.raw())}
 }
 
 // Mul returns a·b.
 func (f *Field) Mul(a, b Elt) Elt {
-	r := new(big.Int).Mul(a.Big(), b.Big())
+	r := new(big.Int).Mul(a.raw(), b.raw())
 	r.Mod(r, f.P)
 	return Elt{v: r}
 }
@@ -122,7 +138,7 @@ func (f *Field) Inv(a Elt) Elt {
 	if a.IsZero() {
 		panic("ff: inverse of zero")
 	}
-	r := new(big.Int).ModInverse(a.Big(), f.P)
+	r := new(big.Int).ModInverse(a.raw(), f.P)
 	if r == nil {
 		panic("ff: modulus not prime")
 	}
@@ -134,7 +150,7 @@ func (f *Field) Exp(a Elt, k *big.Int) Elt {
 	if k.Sign() < 0 {
 		return f.Exp(f.Inv(a), new(big.Int).Neg(k))
 	}
-	return Elt{v: new(big.Int).Exp(a.Big(), k, f.P)}
+	return Elt{v: new(big.Int).Exp(a.raw(), k, f.P)}
 }
 
 // Legendre returns 1 if a is a non-zero quadratic residue mod p, -1 if a
@@ -145,7 +161,7 @@ func (f *Field) Legendre(a Elt) int {
 	}
 	e := new(big.Int).Sub(f.P, big.NewInt(1))
 	e.Rsh(e, 1)
-	r := new(big.Int).Exp(a.Big(), e, f.P)
+	r := new(big.Int).Exp(a.raw(), e, f.P)
 	if r.Cmp(big.NewInt(1)) == 0 {
 		return 1
 	}
@@ -170,7 +186,7 @@ func (f *Field) Sqrt(a Elt) (Elt, bool) {
 // byte length of p.
 func (f *Field) Bytes(e Elt) []byte {
 	size := (f.P.BitLen() + 7) / 8
-	b := e.Big().Bytes()
+	b := e.raw().Bytes()
 	if len(b) == size {
 		return b
 	}
@@ -197,7 +213,7 @@ func (e *Elt) GobDecode(b []byte) error {
 
 // InField reports whether e is a canonical representative in [0, p).
 func (f *Field) InField(e Elt) bool {
-	v := e.Big()
+	v := e.raw()
 	return v.Sign() >= 0 && v.Cmp(f.P) < 0
 }
 
