@@ -43,8 +43,22 @@ func (c *LightClient) WindowByTime(ts, te int64) (start, end int, ok bool) {
 }
 
 // Verify checks a time-window VO and returns the verified result set.
+// It runs the batched verification engine: a structural walk collects
+// every disjointness check, then one randomized pairing-product batch
+// resolves them across all cores — several times faster than checking
+// each proof's pairings individually, with identical accept/reject
+// behavior.
 func (c *LightClient) Verify(q Query, vo *VO) ([]Object, error) {
-	v := &core.Verifier{Acc: c.sys.acc, Light: c.light}
+	v := &core.Verifier{Acc: c.sys.acc, Light: c.light, Workers: c.sys.cfg.VerifyWorkers}
+	return v.VerifyTimeWindow(q, vo)
+}
+
+// VerifySequential checks a VO with the paper's baseline verifier: two
+// pairings per disjointness proof, resolved in walk order. It accepts
+// and rejects exactly the same VOs as Verify; it exists for
+// differential testing and as the batched engine's benchmark baseline.
+func (c *LightClient) VerifySequential(q Query, vo *VO) ([]Object, error) {
+	v := &core.Verifier{Acc: c.sys.acc, Light: c.light, Sequential: true}
 	return v.VerifyTimeWindow(q, vo)
 }
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/vchain-go/vchain/internal/accumulator"
 	"github.com/vchain-go/vchain/internal/chain"
@@ -34,6 +35,8 @@ func main() {
 		width    = flag.Int("width", 8, "numeric bit width (must match the SP)")
 		preset   = flag.String("preset", "toy", "pairing preset (must match the SP)")
 		batched  = flag.Bool("batched", false, "request online batch verification")
+		seqVer   = flag.Bool("seq-verify", false, "use the sequential baseline verifier instead of the batched engine")
+		workers  = flag.Int("verify-workers", 0, "batched verification workers (0 = all cores)")
 	)
 	flag.Parse()
 
@@ -78,12 +81,18 @@ func main() {
 	}
 	fmt.Printf("VO received: %d bytes\n", vo.SizeBytes(acc))
 
-	ver := &core.Verifier{Acc: acc, Light: light}
+	ver := &core.Verifier{Acc: acc, Light: light, Sequential: *seqVer, Workers: *workers}
+	t0 := time.Now()
 	results, err := ver.VerifyTimeWindow(query, vo)
 	if err != nil {
 		fatal(fmt.Errorf("VERIFICATION FAILED — the SP is cheating or misconfigured: %w", err))
 	}
-	fmt.Printf("verified %d results (soundness + completeness hold):\n", len(results))
+	mode := "batched"
+	if *seqVer {
+		mode = "sequential"
+	}
+	fmt.Printf("verified %d results in %v (%s; soundness + completeness hold):\n",
+		len(results), time.Since(t0).Round(time.Microsecond), mode)
 	for _, o := range results {
 		fmt.Printf("  %v\n", o)
 	}

@@ -42,6 +42,14 @@ type Proof struct {
 	F2 ec.Point
 }
 
+// DisjointCheck is one deferred disjointness verification: the triple
+// that would be passed to VerifyDisjoint. Batched verifiers collect
+// these during a structural pass and flush them together.
+type DisjointCheck struct {
+	Acc1, Acc2 Acc
+	Proof      Proof
+}
+
 // Accumulator is the interface shared by both constructions. An
 // implementation carries the public key material; the secret trapdoor
 // is destroyed after KeyGen (Setup and ProveDisjoint work from the
@@ -57,6 +65,14 @@ type Accumulator interface {
 	// VerifyDisjoint checks a disjointness proof against two
 	// accumulation values.
 	VerifyDisjoint(acc1, acc2 Acc, proof Proof) bool
+	// VerifyDisjointBatch checks many disjointness proofs together,
+	// sharing one final exponentiation (and one right-hand-side Miller
+	// loop) across the whole batch. It returns true iff every check
+	// would pass VerifyDisjoint individually, up to the randomized
+	// batching's negligible (≤ 2^-63) false-accept probability; a batch
+	// containing any invalid proof is otherwise rejected. An empty
+	// batch is vacuously true.
+	VerifyDisjointBatch(checks []DisjointCheck) bool
 	// SupportsAgg reports whether Sum/ProofSum are available
 	// (Construction 2 only).
 	SupportsAgg() bool
@@ -83,6 +99,12 @@ type Accumulator interface {
 	AccBytes(a Acc) []byte
 	// ProofBytes serializes a proof (for VO size accounting).
 	ProofBytes(p Proof) []byte
+	// AccFromBytes decodes an AccBytes encoding, validating curve
+	// membership of every point (wire hygiene for untrusted VOs).
+	AccFromBytes(b []byte) (Acc, error)
+	// ProofFromBytes decodes a ProofBytes encoding, validating curve
+	// membership.
+	ProofFromBytes(b []byte) (Proof, error)
 }
 
 // ErrNotDisjoint is returned by ProveDisjoint when the multisets share
@@ -98,4 +120,15 @@ var ErrAggUnsupported = errors.New("accumulator: construction does not support a
 
 func capErr(what string, n, q int) error {
 	return fmt.Errorf("%w: %s has %d occurrences, key capacity %d", ErrCapacity, what, n, q)
+}
+
+// readPoint decodes one point from the front of b, returning the rest.
+// The self-delimiting framing (needed because concatenated encodings
+// such as F1‖F2 must parse unambiguously) is owned by ec.Curve.
+func readPoint(c *ec.Curve, b []byte) (ec.Point, []byte, error) {
+	p, rest, err := c.ReadPoint(b)
+	if err != nil {
+		return ec.Point{}, nil, fmt.Errorf("accumulator: %w", err)
+	}
+	return p, rest, nil
 }

@@ -1,6 +1,7 @@
 package accumulator
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -64,6 +65,80 @@ func BenchmarkSetupCon1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := acc.Setup(w); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVerifyDisjointBatch compares the client's two verification
+// paths at growing batch sizes: `sequential` is today's per-proof loop
+// (two full pairings per check — the light-client hot path before this
+// engine), `batched` is VerifyDisjointBatch (lockstep Miller loops,
+// one shared final exponentiation, one multi-scalar right-hand side).
+// The /256 sequential-vs-batched ratio is the acceptance criterion of
+// the batched verification engine (target ≥ 6.5× single-thread).
+func BenchmarkVerifyDisjointBatch(b *testing.B) {
+	pr := pairing.Toy()
+	accs := map[string]Accumulator{
+		"acc1": KeyGenCon1Deterministic(pr, 64, []byte("bench")),
+		"acc2": KeyGenCon2Deterministic(pr, 256, HashEncoder{Q: 256}, []byte("bench")),
+	}
+	for _, name := range []string{"acc1", "acc2"} {
+		acc := accs[name]
+		// The verifier's workload shape: every check carries a distinct
+		// node digest, verified against one of the query's few clause
+		// accumulators (a sedan∧(benz∨bmw)-style query has 2–4 clauses).
+		const clauses = 4
+		clAccs := make([]Acc, clauses)
+		clSets := make([]multiset.Multiset, clauses)
+		for j := range clAccs {
+			clSets[j] = benchMultiset(fmt.Sprintf("c%d", j), 2)
+			var err error
+			clAccs[j], err = acc.Setup(clSets[j])
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, k := range []int{16, 256} {
+			checks := make([]DisjointCheck, k)
+			for i := range checks {
+				// Retry on toy-domain hash collisions between the window
+				// and clause multisets (see checkPool in batch_test.go).
+				for try := 0; ; try++ {
+					if try == 32 {
+						b.Fatal("could not find disjoint multisets")
+					}
+					w := benchMultiset(fmt.Sprintf("w%d.%d.%d", k, i, try), 3)
+					pf, err := acc.ProveDisjoint(w, clSets[i%clauses])
+					if errors.Is(err, ErrNotDisjoint) {
+						continue
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					aw, err := acc.Setup(w)
+					if err != nil {
+						b.Fatal(err)
+					}
+					checks[i] = DisjointCheck{Acc1: aw, Acc2: clAccs[i%clauses], Proof: pf}
+					break
+				}
+			}
+			b.Run(fmt.Sprintf("%s/%d/sequential", name, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					for _, ch := range checks {
+						if !acc.VerifyDisjoint(ch.Acc1, ch.Acc2, ch.Proof) {
+							b.Fatal("valid check rejected")
+						}
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("%s/%d/batched", name, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if !acc.VerifyDisjointBatch(checks) {
+						b.Fatal("valid batch rejected")
+					}
+				}
+			})
 		}
 	}
 }

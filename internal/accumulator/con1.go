@@ -244,6 +244,32 @@ func (c *Con1) VerifyDisjoint(acc1, acc2 Acc, proof Proof) bool {
 	return lhs.Equal(c.eGG)
 }
 
+// VerifyDisjointBatch implements Accumulator: the k verification
+// equations ê(acc1_i, F1_i)·ê(acc2_i, F2_i) == ê(g, g) collapse into
+// one randomized pairing-product check with a single final
+// exponentiation, lockstep Miller loops, and one multi-scalar
+// right-hand side (pairing.PairingCheckBatch). The second pair is
+// emitted as ê(F2_i, acc2_i) — the Type-1 pairing is symmetric — so
+// that the clause accumulator, which repeats across the checks of one
+// query, sits in the position PairingCheckBatch buckets on and the
+// repeated Miller loops merge.
+func (c *Con1) VerifyDisjointBatch(checks []DisjointCheck) bool {
+	if len(checks) == 1 {
+		return c.VerifyDisjoint(checks[0].Acc1, checks[0].Acc2, checks[0].Proof)
+	}
+	eqs := make([]pairing.BatchEquation, len(checks))
+	for i, ch := range checks {
+		eqs[i] = pairing.BatchEquation{
+			Pairs: []pairing.PairPair{
+				{P: ch.Acc1.A, Q: ch.Proof.F1},
+				{P: ch.Proof.F2, Q: ch.Acc2.A},
+			},
+			R: c.pr.G,
+		}
+	}
+	return c.pr.PairingCheckBatch(eqs)
+}
+
 // SupportsAgg implements Accumulator: Construction 1 cannot aggregate.
 func (c *Con1) SupportsAgg() bool { return false }
 
@@ -274,4 +300,33 @@ func (c *Con1) AccBytes(a Acc) []byte { return c.pr.C.Bytes(a.A) }
 func (c *Con1) ProofBytes(p Proof) []byte {
 	out := c.pr.C.Bytes(p.F1)
 	return append(out, c.pr.C.Bytes(p.F2)...)
+}
+
+// AccFromBytes implements Accumulator (Construction 1 serializes only
+// the A point; B is pinned to the identity, as Setup produces).
+func (c *Con1) AccFromBytes(b []byte) (Acc, error) {
+	a, rest, err := readPoint(c.pr.C, b)
+	if err != nil {
+		return Acc{}, err
+	}
+	if len(rest) != 0 {
+		return Acc{}, fmt.Errorf("accumulator: %d trailing bytes after acc1 value", len(rest))
+	}
+	return Acc{A: a, B: c.pr.C.Infinity()}, nil
+}
+
+// ProofFromBytes implements Accumulator.
+func (c *Con1) ProofFromBytes(b []byte) (Proof, error) {
+	f1, rest, err := readPoint(c.pr.C, b)
+	if err != nil {
+		return Proof{}, err
+	}
+	f2, rest, err := readPoint(c.pr.C, rest)
+	if err != nil {
+		return Proof{}, err
+	}
+	if len(rest) != 0 {
+		return Proof{}, fmt.Errorf("accumulator: %d trailing bytes after acc1 proof", len(rest))
+	}
+	return Proof{F1: f1, F2: f2}, nil
 }

@@ -193,6 +193,25 @@ func (c *Con2) VerifyDisjoint(acc1, acc2 Acc, proof Proof) bool {
 	return lhs.Equal(rhs)
 }
 
+// VerifyDisjointBatch implements Accumulator: the k verification
+// equations ê(dA_i, dB_i) == ê(π_i, g) collapse into one randomized
+// check — all left-hand Miller loops run in lockstep, every right-hand
+// side folds into a single multi-scalar multiplication against g, and
+// the final exponentiation happens once (pairing.PairingCheckBatch).
+func (c *Con2) VerifyDisjointBatch(checks []DisjointCheck) bool {
+	if len(checks) == 1 {
+		return c.VerifyDisjoint(checks[0].Acc1, checks[0].Acc2, checks[0].Proof)
+	}
+	eqs := make([]pairing.BatchEquation, len(checks))
+	for i, ch := range checks {
+		eqs[i] = pairing.BatchEquation{
+			Pairs: []pairing.PairPair{{P: ch.Acc1.A, Q: ch.Acc2.B}},
+			R:     ch.Proof.F1,
+		}
+	}
+	return c.pr.PairingCheckBatch(eqs)
+}
+
 // SupportsAgg implements Accumulator.
 func (c *Con2) SupportsAgg() bool { return true }
 
@@ -241,3 +260,32 @@ func (c *Con2) AccBytes(a Acc) []byte {
 
 // ProofBytes implements Accumulator.
 func (c *Con2) ProofBytes(p Proof) []byte { return c.pr.C.Bytes(p.F1) }
+
+// AccFromBytes implements Accumulator: decodes the (dA, dB) pair.
+func (c *Con2) AccFromBytes(b []byte) (Acc, error) {
+	a, rest, err := readPoint(c.pr.C, b)
+	if err != nil {
+		return Acc{}, err
+	}
+	bb, rest, err := readPoint(c.pr.C, rest)
+	if err != nil {
+		return Acc{}, err
+	}
+	if len(rest) != 0 {
+		return Acc{}, fmt.Errorf("accumulator: %d trailing bytes after acc2 value", len(rest))
+	}
+	return Acc{A: a, B: bb}, nil
+}
+
+// ProofFromBytes implements Accumulator (Construction 2 serializes only
+// π = F1; F2 is pinned to the identity, as ProveDisjoint produces).
+func (c *Con2) ProofFromBytes(b []byte) (Proof, error) {
+	f1, rest, err := readPoint(c.pr.C, b)
+	if err != nil {
+		return Proof{}, err
+	}
+	if len(rest) != 0 {
+		return Proof{}, fmt.Errorf("accumulator: %d trailing bytes after acc2 proof", len(rest))
+	}
+	return Proof{F1: f1, F2: c.pr.C.Infinity()}, nil
+}

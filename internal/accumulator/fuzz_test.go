@@ -1,0 +1,60 @@
+package accumulator
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/vchain-go/vchain/internal/multiset"
+	"github.com/vchain-go/vchain/internal/pairingtest"
+)
+
+// FuzzAccDecode drives AccFromBytes / ProofFromBytes of both
+// constructions with arbitrary bytes: the decoders must never panic,
+// every accepted value must consist of on-curve points (the validation
+// the verifier relies on), and accepted encodings must round-trip
+// byte-identically (canonicality).
+func FuzzAccDecode(f *testing.F) {
+	pr := pairingtest.Params()
+	acc1 := KeyGenCon1Deterministic(pr, 16, []byte("fuzz"))
+	acc2 := KeyGenCon2Deterministic(pr, 64, HashEncoder{Q: 64}, []byte("fuzz"))
+
+	w := multiset.New("fuzz-a", "fuzz-b")
+	cl := multiset.New("fuzz-c")
+	for _, acc := range []Accumulator{acc1, acc2} {
+		aw, err := acc.Setup(w)
+		if err != nil {
+			f.Fatal(err)
+		}
+		pf, err := acc.ProveDisjoint(w, cl)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(acc.AccBytes(aw))
+		f.Add(acc.ProofBytes(pf))
+	}
+	f.Add([]byte{0})
+	f.Add([]byte{0, 0})
+	f.Add([]byte{1})
+	f.Add(bytes.Repeat([]byte{0xff}, 65))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, acc := range []Accumulator{Accumulator(acc1), Accumulator(acc2)} {
+			if a, err := acc.AccFromBytes(data); err == nil {
+				if !acc.ValidateAcc(a) {
+					t.Fatalf("%s: decoder accepted off-curve acc %x", acc.Name(), data)
+				}
+				if re := acc.AccBytes(a); !bytes.Equal(re, data) {
+					t.Fatalf("%s: acc encoding not canonical: %x -> %x", acc.Name(), data, re)
+				}
+			}
+			if p, err := acc.ProofFromBytes(data); err == nil {
+				if !acc.ValidateProof(p) {
+					t.Fatalf("%s: decoder accepted off-curve proof %x", acc.Name(), data)
+				}
+				if re := acc.ProofBytes(p); !bytes.Equal(re, data) {
+					t.Fatalf("%s: proof encoding not canonical: %x -> %x", acc.Name(), data, re)
+				}
+			}
+		}
+	})
+}

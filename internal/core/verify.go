@@ -4,6 +4,9 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
 
 	"github.com/vchain-go/vchain/internal/accumulator"
 	"github.com/vchain-go/vchain/internal/chain"
@@ -23,11 +26,186 @@ var (
 
 // Verifier is the light-node result checker. It trusts only the header
 // store (synced and PoW-validated) and the accumulator public key.
+//
+// Verification runs in two phases: a cheap structural walk that
+// replays hashes, clause membership, and result predicates while
+// collecting every pending disjointness check, followed by a flush
+// that resolves the collected pairing checks. The default flush is
+// batched — checks are grouped into pairing-product batches
+// (accumulator.VerifyDisjointBatch) spread across Workers goroutines —
+// which turns the pairing count from two per proof into a handful per
+// batch. Accept/reject results are identical to the sequential path:
+// batched verification never rejects a VO the sequential verifier
+// accepts, and a batched reject is re-checked individually to surface
+// the same error the sequential walk would have produced.
 type Verifier struct {
 	// Acc is the shared accumulator construction (public part).
 	Acc accumulator.Accumulator
 	// Light is the user's header store.
 	Light *chain.LightStore
+	// Sequential disables batched pairing verification: every pending
+	// check runs its own VerifyDisjoint, in collection order. This is
+	// the paper's baseline client and the differential-testing anchor.
+	Sequential bool
+	// Workers bounds the batched flush's parallelism. 0 means
+	// GOMAXPROCS; 1 keeps the flush on the calling goroutine.
+	Workers int
+}
+
+// flushBatchSize bounds one batched pairing-product check. Chunks are
+// also the unit of parallelism, so the bound keeps per-worker latency
+// (and the damage radius of a rejected batch, which is re-verified
+// individually) proportionate.
+const flushBatchSize = 256
+
+// pendingCheck is one deferred disjointness verification plus the
+// error to surface if it fails.
+type pendingCheck struct {
+	check accumulator.DisjointCheck
+	err   error
+}
+
+// checkCollector accumulates the structural walk's pending pairing
+// checks and memoizes per-clause accumulation values (a query has few
+// clauses; a VO references them over and over).
+type checkCollector struct {
+	acc     accumulator.Accumulator
+	pending []pendingCheck
+	clauses map[string]accumulator.Acc
+}
+
+func newCheckCollector(acc accumulator.Accumulator) *checkCollector {
+	return &checkCollector{acc: acc, clauses: make(map[string]accumulator.Acc)}
+}
+
+// clauseAcc returns acc(clause), computed once per distinct clause.
+func (cc *checkCollector) clauseAcc(cl Clause) (accumulator.Acc, error) {
+	key := cl.Key()
+	if a, ok := cc.clauses[key]; ok {
+		return a, nil
+	}
+	a, err := cc.acc.Setup(cl.Multiset())
+	if err != nil {
+		return accumulator.Acc{}, fmt.Errorf("core: clause accumulation: %w", err)
+	}
+	cc.clauses[key] = a
+	return a, nil
+}
+
+// add defers one disjointness check; failErr is returned by the flush
+// if the check turns out invalid.
+func (cc *checkCollector) add(acc1, acc2 accumulator.Acc, proof accumulator.Proof, failErr error) {
+	cc.pending = append(cc.pending, pendingCheck{
+		check: accumulator.DisjointCheck{Acc1: acc1, Acc2: acc2, Proof: proof},
+		err:   failErr,
+	})
+}
+
+// flush resolves every pending check. Sequential mode replays them
+// one by one in collection order; batched mode splits them into
+// flushBatchSize chunks verified concurrently, re-verifying any
+// rejected chunk individually so the surfaced error is the first
+// failing check in collection order — exactly what the sequential
+// flush would return.
+func (v *Verifier) flush(cc *checkCollector) error {
+	checks := cc.pending
+	if len(checks) == 0 {
+		return nil
+	}
+	if v.Sequential {
+		for _, pc := range checks {
+			if !v.Acc.VerifyDisjoint(pc.check.Acc1, pc.check.Acc2, pc.check.Proof) {
+				return pc.err
+			}
+		}
+		return nil
+	}
+
+	chunks := (len(checks) + flushBatchSize - 1) / flushBatchSize
+	workers := v.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+
+	// firstBad is the lowest collection index of a failing check, or
+	// len(checks) when all chunks verified.
+	firstBad := len(checks)
+	locate := func(lo, hi int) int {
+		batch := make([]accumulator.DisjointCheck, hi-lo)
+		for i := lo; i < hi; i++ {
+			batch[i-lo] = checks[i].check
+		}
+		if v.Acc.VerifyDisjointBatch(batch) {
+			return -1
+		}
+		// The batch is invalid: find the first offending member. Batch
+		// verification never rejects a batch whose members all pass, so
+		// this scan terminates with a hit (the defensive fallback below
+		// covers a randomization false-reject, which has negligible
+		// probability but must not turn into a false accept).
+		for i := lo; i < hi; i++ {
+			if !v.Acc.VerifyDisjoint(checks[i].check.Acc1, checks[i].check.Acc2, checks[i].check.Proof) {
+				return i
+			}
+		}
+		return hi - 1
+	}
+
+	if workers <= 1 {
+		for c := 0; c < chunks; c++ {
+			lo := c * flushBatchSize
+			hi := lo + flushBatchSize
+			if hi > len(checks) {
+				hi = len(checks)
+			}
+			if bad := locate(lo, hi); bad >= 0 {
+				return checks[bad].err
+			}
+		}
+		return nil
+	}
+
+	var (
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		next int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				c := next
+				next++
+				stop := firstBad < len(checks) // a failure already found
+				mu.Unlock()
+				if c >= chunks || stop {
+					return
+				}
+				lo := c * flushBatchSize
+				hi := lo + flushBatchSize
+				if hi > len(checks) {
+					hi = len(checks)
+				}
+				if bad := locate(lo, hi); bad >= 0 {
+					mu.Lock()
+					if bad < firstBad {
+						firstBad = bad
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstBad < len(checks) {
+		return checks[firstBad].err
+	}
+	return nil
 }
 
 // VerifyTimeWindow checks a VO against q and the light headers,
@@ -43,6 +221,8 @@ func (v *Verifier) VerifyTimeWindow(q Query, vo *VO) ([]chain.Object, error) {
 		return nil, fmt.Errorf("%w: window end %d beyond synced headers (%d)",
 			ErrCompleteness, q.EndBlock, v.Light.Height())
 	}
+
+	cc := newCheckCollector(v.Acc)
 
 	// Batched groups: collect member digests during traversal, verify
 	// each group once at the end.
@@ -68,12 +248,12 @@ func (v *Verifier) VerifyTimeWindow(q Query, vo *VO) ([]chain.Object, error) {
 		}
 		switch {
 		case bvo.Skip != nil:
-			if err := v.verifySkip(bvo.Skip, h, hdr, cnf); err != nil {
+			if err := v.verifySkip(bvo.Skip, h, hdr, cnf, cc); err != nil {
 				return nil, err
 			}
 			h -= bvo.Skip.Distance
 		case bvo.Tree != nil:
-			objs, err := v.verifyTree(bvo.Tree, hdr, cnf, q, groupDigests, vo)
+			objs, err := v.verifyTree(bvo.Tree, hdr, cnf, q, groupDigests, vo, cc)
 			if err != nil {
 				return nil, err
 			}
@@ -87,8 +267,8 @@ func (v *Verifier) VerifyTimeWindow(q Query, vo *VO) ([]chain.Object, error) {
 		return nil, fmt.Errorf("%w: %d surplus VO entries", ErrCompleteness, len(vo.Blocks)-idx)
 	}
 
-	// Verify batched groups: sum the member digests and check one
-	// aggregated proof per clause (§6.3).
+	// Verify batched groups: sum the member digests and register one
+	// aggregated check per clause (§6.3).
 	for gi, g := range vo.Groups {
 		if len(groupDigests[gi]) == 0 {
 			continue // group never referenced; harmless padding
@@ -103,34 +283,37 @@ func (v *Verifier) VerifyTimeWindow(q Query, vo *VO) ([]chain.Object, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: batch group %d: %v", ErrSoundness, gi, err)
 		}
-		clAcc, err := v.Acc.Setup(g.Clause.Multiset())
+		clAcc, err := cc.clauseAcc(g.Clause)
 		if err != nil {
-			return nil, fmt.Errorf("core: clause accumulation: %w", err)
+			return nil, err
 		}
-		if !v.Acc.VerifyDisjoint(sum, clAcc, g.Proof) {
-			return nil, fmt.Errorf("%w: batched disjointness proof for group %d rejected", ErrSoundness, gi)
-		}
+		cc.add(sum, clAcc, g.Proof,
+			fmt.Errorf("%w: batched disjointness proof for group %d rejected", ErrSoundness, gi))
+	}
+
+	// Phase 2: resolve every pending pairing check.
+	if err := v.flush(cc); err != nil {
+		return nil, err
 	}
 	return results, nil
 }
 
-// verifySkip checks an inter-block jump: proof validity, clause
-// membership, SkipListRoot reconstruction, and landing-hash agreement
-// with the local headers.
-func (v *Verifier) verifySkip(s *SkipVO, height int, hdr chain.Header, cnf CNF) error {
+// verifySkip checks an inter-block jump: clause membership,
+// SkipListRoot reconstruction, landing-hash agreement with the local
+// headers, and (deferred) proof validity.
+func (v *Verifier) verifySkip(s *SkipVO, height int, hdr chain.Header, cnf CNF, cc *checkCollector) error {
 	if !cnf.ContainsClause(s.Clause) {
 		return fmt.Errorf("%w: skip at %d proves a foreign clause", ErrSoundness, height)
 	}
 	if !v.Acc.ValidateAcc(s.Digest) || !v.Acc.ValidateProof(s.Proof) {
 		return fmt.Errorf("%w: malformed group elements in skip at %d", ErrSoundness, height)
 	}
-	clAcc, err := v.Acc.Setup(s.Clause.Multiset())
+	clAcc, err := cc.clauseAcc(s.Clause)
 	if err != nil {
-		return fmt.Errorf("core: clause accumulation: %w", err)
+		return err
 	}
-	if !v.Acc.VerifyDisjoint(s.Digest, clAcc, s.Proof) {
-		return fmt.Errorf("%w: skip disjointness proof at %d rejected", ErrSoundness, height)
-	}
+	cc.add(s.Digest, clAcc, s.Proof,
+		fmt.Errorf("%w: skip disjointness proof at %d rejected", ErrSoundness, height))
 	// Reconstruct SkipListRoot from this entry plus sibling hashes.
 	entry := SkipEntry{Distance: s.Distance, PrevHash: s.PrevHash, Digest: s.Digest}
 	hashes := map[int]chain.Digest{s.Distance: entry.hashEntry(v.Acc)}
@@ -165,7 +348,7 @@ func combineSkipHashes(hashes map[int]chain.Digest) chain.Digest {
 	for d := range hashes {
 		ds = append(ds, d)
 	}
-	sortInts(ds)
+	sort.Ints(ds)
 	var buf []byte
 	for _, d := range ds {
 		h := hashes[d]
@@ -175,10 +358,11 @@ func combineSkipHashes(hashes map[int]chain.Digest) chain.Digest {
 }
 
 // verifyTree replays one block's NodeVO: recomputes the Merkle root,
-// checks every mismatch proof (or registers it with its batch group),
-// and validates every result object against the raw query predicate.
+// registers every mismatch proof with the check collector (or with its
+// batch group), and validates every result object against the raw
+// query predicate.
 func (v *Verifier) verifyTree(root *NodeVO, hdr chain.Header, cnf CNF, q Query,
-	groupDigests [][]accumulator.Acc, vo *VO) ([]chain.Object, error) {
+	groupDigests [][]accumulator.Acc, vo *VO, cc *checkCollector) ([]chain.Object, error) {
 
 	var results []chain.Object
 	var walk func(n *NodeVO) (chain.Digest, error)
@@ -215,13 +399,12 @@ func (v *Verifier) verifyTree(root *NodeVO, hdr chain.Header, cnf CNF, q Query,
 			}
 			switch {
 			case n.Proof != nil:
-				clAcc, err := v.Acc.Setup(n.Clause.Multiset())
+				clAcc, err := cc.clauseAcc(n.Clause)
 				if err != nil {
-					return chain.Digest{}, fmt.Errorf("core: clause accumulation: %w", err)
+					return chain.Digest{}, err
 				}
-				if !v.Acc.VerifyDisjoint(n.Digest, clAcc, *n.Proof) {
-					return chain.Digest{}, fmt.Errorf("%w: disjointness proof rejected", ErrSoundness)
-				}
+				cc.add(n.Digest, clAcc, *n.Proof,
+					fmt.Errorf("%w: disjointness proof rejected", ErrSoundness))
 			case n.Group >= 0 && n.Group < len(vo.Groups):
 				if !vo.Groups[n.Group].Clause.Equal(n.Clause) {
 					return chain.Digest{}, fmt.Errorf("%w: node clause differs from its batch group", ErrSoundness)
@@ -264,14 +447,6 @@ func (v *Verifier) verifyTree(root *NodeVO, hdr chain.Header, cnf CNF, q Query,
 		return nil, fmt.Errorf("%w: MerkleRoot mismatch at height %d", ErrCompleteness, hdr.Height)
 	}
 	return results, nil
-}
-
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }
 
 func sha256Sum(b []byte) chain.Digest {

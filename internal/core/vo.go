@@ -119,63 +119,28 @@ func (vo *VO) Results() []chain.Object {
 	return out
 }
 
-// SizeBytes reports the VO's transfer size: proofs, digests, hashes,
-// and clause strings. Result object payloads are the result set R, not
-// part of the VO, and are excluded (matching the paper's VO-size
-// metric).
+// SizeBytes reports the VO's transfer size: the exact length of the
+// canonical wire encoding (EncodeVO) minus the result object payloads,
+// which are the answer R itself rather than authentication overhead
+// (matching the paper's VO-size metric). Deriving the size from the
+// codec means every section — including the skip-VO entries, sibling
+// frames, and per-node structural bytes that hand-rolled accounting
+// used to ignore — is counted exactly once.
 func (vo *VO) SizeBytes(acc accumulator.Accumulator) int {
-	total := 0
-	clauseSize := func(c Clause) int {
-		n := 0
-		for _, e := range c {
-			n += len(e)
-		}
-		return n
-	}
+	total := len(EncodeVO(acc, vo))
 	var walk func(n *NodeVO)
 	walk = func(n *NodeVO) {
 		if n == nil {
 			return
 		}
-		switch n.Kind {
-		case KindResult:
-			if n.HasDigest {
-				total += len(acc.AccBytes(n.Digest))
-			}
-		case KindMismatch:
-			total += len(n.PreHash)
-			if n.HasDigest {
-				total += len(acc.AccBytes(n.Digest))
-			}
-			if n.Proof != nil {
-				total += len(acc.ProofBytes(*n.Proof))
-			} else {
-				total += 4 // group reference
-			}
-			total += clauseSize(n.Clause)
-		case KindExpand:
-			if n.HasDigest {
-				total += len(acc.AccBytes(n.Digest))
-			}
+		if n.Kind == KindResult && n.Obj != nil {
+			total -= encodedObjectSize(n.Obj)
 		}
 		walk(n.Left)
 		walk(n.Right)
 	}
 	for i := range vo.Blocks {
-		b := &vo.Blocks[i]
-		total += 4 // height
-		if b.Skip != nil {
-			total += 8
-			total += clauseSize(b.Skip.Clause)
-			total += len(acc.ProofBytes(b.Skip.Proof))
-			total += len(acc.AccBytes(b.Skip.Digest))
-			total += len(b.Skip.PrevHash)
-			total += len(b.Skip.Siblings) * (8 + len(chain.Digest{}))
-		}
-		walk(b.Tree)
-	}
-	for _, g := range vo.Groups {
-		total += clauseSize(g.Clause) + len(acc.ProofBytes(g.Proof))
+		walk(vo.Blocks[i].Tree)
 	}
 	return total
 }

@@ -172,6 +172,30 @@ func (c *Curve) Bytes(p Point) []byte {
 	return append(out, c.F.Bytes(p.Y)...)
 }
 
+// ReadPoint decodes one point from the front of b and returns the
+// remainder. The encoding is self-delimiting — the tag byte
+// distinguishes the 1-byte infinity form from the full affine form —
+// so concatenated point encodings parse unambiguously. The framing
+// knowledge lives here, next to Bytes, so consumers never hard-code
+// the layout.
+func (c *Curve) ReadPoint(b []byte) (Point, []byte, error) {
+	if len(b) == 0 {
+		return Point{}, nil, fmt.Errorf("ec: truncated point encoding")
+	}
+	n := 1
+	if b[0] != 0 {
+		n = 1 + 2*((c.F.P.BitLen()+7)/8)
+	}
+	if len(b) < n {
+		return Point{}, nil, fmt.Errorf("ec: truncated point encoding")
+	}
+	p, err := c.PointFromBytes(b[:n])
+	if err != nil {
+		return Point{}, nil, err
+	}
+	return p, b[n:], nil
+}
+
 // PointFromBytes decodes an encoding produced by Bytes and validates
 // curve membership.
 func (c *Curve) PointFromBytes(b []byte) (Point, error) {
@@ -183,6 +207,11 @@ func (c *Curve) PointFromBytes(b []byte) (Point, error) {
 			return Point{}, fmt.Errorf("ec: malformed infinity encoding")
 		}
 		return c.Infinity(), nil
+	}
+	if b[0] != 1 {
+		// Only the tags 0 (infinity) and 1 (affine) exist; anything else
+		// would re-encode differently, breaking canonicality.
+		return Point{}, fmt.Errorf("ec: unknown point tag %d", b[0])
 	}
 	size := (c.F.P.BitLen() + 7) / 8
 	if len(b) != 1+2*size {

@@ -1,0 +1,173 @@
+package pairing
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"github.com/vchain-go/vchain/internal/crypto/ec"
+)
+
+// randPoint returns a random element of the order-r subgroup.
+func randPoint(pr *Params, rng *rand.Rand) ec.Point {
+	k := new(big.Int).Rand(rng, pr.R)
+	return pr.C.ScalarMul(pr.G, k)
+}
+
+func TestMillerManyMatchesSingle(t *testing.T) {
+	pr := Toy()
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{1, 2, 3, 7} {
+		ps := make([]ec.Point, n)
+		ats := make([]ec.Point2, n)
+		for i := range ps {
+			ps[i] = randPoint(pr, rng)
+			ats[i] = pr.C2.Distort(randPoint(pr, rng))
+		}
+		got := pr.millerMany(ps, ats)
+		for i := range ps {
+			want := pr.miller(ps[i], ats[i])
+			if !got[i].Equal(want) {
+				t.Fatalf("n=%d slot %d: lockstep Miller diverges from reference", n, i)
+			}
+		}
+	}
+}
+
+func TestMillerManyDegenerateSlots(t *testing.T) {
+	// Slots that hit degenerate steps (small-order points, y = 0) must
+	// not desynchronize the batch. The 2-torsion point (−1, 0) forces a
+	// vertical-tangent step; mixing it with honest slots exercises the
+	// per-slot degenerate path inside the lockstep loop.
+	pr := Toy()
+	rng := rand.New(rand.NewSource(43))
+	f := pr.F
+	twoTorsion := ec.Point{X: f.FromInt64(-1), Y: f.Zero()}
+	if !pr.C.IsOnCurve(twoTorsion) {
+		t.Fatal("(−1, 0) not on curve")
+	}
+	honest := randPoint(pr, rng)
+	at := pr.C2.Distort(randPoint(pr, rng))
+	ps := []ec.Point{twoTorsion, honest, twoTorsion}
+	ats := []ec.Point2{at, at, at}
+	got := pr.millerMany(ps, ats)
+	for i := range ps {
+		want := pr.miller(ps[i], ats[i])
+		if !got[i].Equal(want) {
+			t.Fatalf("slot %d: degenerate-slot batch diverges from reference", i)
+		}
+	}
+}
+
+func TestPairingCheck(t *testing.T) {
+	pr := Toy()
+	a := big.NewInt(1234)
+	b := big.NewInt(8765)
+	ab := new(big.Int).Mul(a, b)
+	pa := pr.C.ScalarMul(pr.G, a)
+	pb := pr.C.ScalarMul(pr.G, b)
+	pab := pr.C.ScalarMul(pr.G, ab)
+	// ê(aG, bG)·ê(−abG, G) == 1.
+	if !pr.PairingCheck(PairPair{P: pa, Q: pb}, PairPair{P: pr.C.Neg(pab), Q: pr.G}) {
+		t.Error("true pairing check rejected")
+	}
+	if pr.PairingCheck(PairPair{P: pa, Q: pb}, PairPair{P: pab, Q: pr.G}) {
+		t.Error("false pairing check accepted")
+	}
+	if !pr.PairingCheck() {
+		t.Error("empty check must hold")
+	}
+}
+
+// trueEquation returns a random valid equation ê(aG, bG) == ê(abG, G).
+func trueEquation(pr *Params, rng *rand.Rand) BatchEquation {
+	a := new(big.Int).Rand(rng, pr.R)
+	b := new(big.Int).Rand(rng, pr.R)
+	ab := new(big.Int).Mul(a, b)
+	ab.Mod(ab, pr.R)
+	return BatchEquation{
+		Pairs: []PairPair{{P: pr.C.ScalarMul(pr.G, a), Q: pr.C.ScalarMul(pr.G, b)}},
+		R:     pr.C.ScalarMul(pr.G, ab),
+	}
+}
+
+func TestPairingCheckBatchAcceptsTrueBatches(t *testing.T) {
+	pr := Toy()
+	rng := rand.New(rand.NewSource(47))
+	for _, k := range []int{0, 1, 2, 5, 17} {
+		eqs := make([]BatchEquation, k)
+		for i := range eqs {
+			eqs[i] = trueEquation(pr, rng)
+		}
+		if !pr.PairingCheckBatch(eqs) {
+			t.Errorf("k=%d: true batch rejected", k)
+		}
+	}
+}
+
+func TestPairingCheckBatchRejectsOneBad(t *testing.T) {
+	pr := Toy()
+	rng := rand.New(rand.NewSource(53))
+	for _, k := range []int{1, 2, 9} {
+		for bad := 0; bad < k; bad++ {
+			eqs := make([]BatchEquation, k)
+			for i := range eqs {
+				eqs[i] = trueEquation(pr, rng)
+			}
+			// Corrupt equation `bad`: shift its RHS by G.
+			eqs[bad].R = pr.C.Add(eqs[bad].R, pr.G)
+			if pr.PairingCheckBatch(eqs) {
+				t.Errorf("k=%d: batch with bad equation %d accepted", k, bad)
+			}
+		}
+	}
+}
+
+func TestPairingCheckBatchMultiPairEquations(t *testing.T) {
+	// Construction-1 shape: ê(aG, bG)·ê(cG, dG) == ê((ab+cd)G, G).
+	pr := Toy()
+	rng := rand.New(rand.NewSource(59))
+	eqs := make([]BatchEquation, 4)
+	for i := range eqs {
+		a := new(big.Int).Rand(rng, pr.R)
+		b := new(big.Int).Rand(rng, pr.R)
+		c := new(big.Int).Rand(rng, pr.R)
+		d := new(big.Int).Rand(rng, pr.R)
+		s := new(big.Int).Add(new(big.Int).Mul(a, b), new(big.Int).Mul(c, d))
+		s.Mod(s, pr.R)
+		eqs[i] = BatchEquation{
+			Pairs: []PairPair{
+				{P: pr.C.ScalarMul(pr.G, a), Q: pr.C.ScalarMul(pr.G, b)},
+				{P: pr.C.ScalarMul(pr.G, c), Q: pr.C.ScalarMul(pr.G, d)},
+			},
+			R: pr.C.ScalarMul(pr.G, s),
+		}
+	}
+	if !pr.PairingCheckBatch(eqs) {
+		t.Error("true two-pair batch rejected")
+	}
+	eqs[2].Pairs[1].P = pr.C.Add(eqs[2].Pairs[1].P, pr.G)
+	if pr.PairingCheckBatch(eqs) {
+		t.Error("corrupted two-pair batch accepted")
+	}
+}
+
+func TestPairingCheckBatchInfinityEdges(t *testing.T) {
+	pr := Toy()
+	// All-infinity equation: 1 == ê(∞, G) holds.
+	ok := pr.PairingCheckBatch([]BatchEquation{{
+		Pairs: []PairPair{{P: pr.C.Infinity(), Q: pr.G}},
+		R:     pr.C.Infinity(),
+	}})
+	if !ok {
+		t.Error("identity equation rejected")
+	}
+	// 1 == ê(G, G) must fail.
+	ok = pr.PairingCheckBatch([]BatchEquation{{
+		Pairs: []PairPair{{P: pr.C.Infinity(), Q: pr.G}},
+		R:     pr.G,
+	}})
+	if ok {
+		t.Error("non-trivial RHS against empty LHS accepted")
+	}
+}

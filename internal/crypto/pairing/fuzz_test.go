@@ -1,0 +1,33 @@
+package pairing
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzGTFromBytes feeds arbitrary byte strings to the G_T decoder: it
+// must never panic, and every accepted input must round-trip to the
+// identical encoding (canonicality — a malleable G_T encoding would
+// let an SP present one pairing value under two byte strings).
+func FuzzGTFromBytes(f *testing.F) {
+	pr := Toy()
+	f.Add(pr.GTBytes(pr.GTOne()))
+	f.Add(pr.GTBytes(pr.PairBase()))
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add(bytes.Repeat([]byte{0xff}, 32))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := pr.GTFromBytes(data)
+		if err != nil {
+			return
+		}
+		re := pr.GTBytes(g)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not canonical: %x -> %x", data, re)
+		}
+		back, err := pr.GTFromBytes(re)
+		if err != nil || !back.Equal(g) {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}

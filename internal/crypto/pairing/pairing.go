@@ -68,18 +68,23 @@ type PairPair struct {
 // ê(a,b)·ê(c,d) =? ê(g,g) (Construction 1) run almost twice as fast
 // this way, since the final exponentiation dominates each pairing.
 func (pr *Params) PairProduct(pairs ...PairPair) GT {
-	acc := pr.X.One()
-	work := false
+	ps := make([]ec.Point, 0, len(pairs))
+	ats := make([]ec.Point2, 0, len(pairs))
 	for _, pp := range pairs {
 		if pp.P.Inf || pp.Q.Inf {
 			continue // contributes the identity
 		}
-		phiQ := pr.C2.Distort(pp.Q)
-		acc = pr.X.Mul(acc, pr.miller(pp.P, phiQ))
-		work = true
+		ps = append(ps, pp.P)
+		ats = append(ats, pr.C2.Distort(pp.Q))
 	}
-	if !work {
+	if len(ps) == 0 {
 		return pr.GTOne()
+	}
+	// The lockstep evaluator shares each step's slope inversion (and the
+	// final num/den division) across all pairs of the product.
+	acc := pr.X.One()
+	for _, m := range pr.millerMany(ps, ats) {
+		acc = pr.X.Mul(acc, m)
 	}
 	return GT{V: pr.X.Exp(acc, pr.finalExp)}
 }
@@ -126,11 +131,40 @@ func (pr *Params) miller(p ec.Point, at ec.Point2) ff.Elt2 {
 // advancing the point independently. Degenerate cases (vertical chord,
 // point at infinity) follow the standard divisor conventions: an absent
 // factor contributes 1.
+//
+// The step is split into three pieces — millerStepDen,
+// millerStepDegenerate, millerStepFinish — so the lockstep batch
+// evaluator (millerMany, batch.go) can collect the slope denominators
+// of a whole batch and invert them together with Montgomery's trick.
 func (pr *Params) millerStep(a, b ec.Point, at ec.Point2) (ff.Elt2, ff.Elt2, ec.Point) {
-	f := pr.F
-	x := pr.X
-	one := x.One()
+	den, ok := pr.millerStepDen(a, b)
+	if !ok {
+		return pr.millerStepDegenerate(a, b, at)
+	}
+	return pr.millerStepFinish(a, b, at, pr.F.Inv(den))
+}
 
+// millerStepDen returns the slope denominator the step a+b must invert
+// — 2y_a for a tangent, x_b − x_a for a chord — or ok=false when the
+// step is degenerate (a point at infinity or a vertical chord) and
+// needs no inversion at all.
+func (pr *Params) millerStepDen(a, b ec.Point) (ff.Elt, bool) {
+	if a.Inf || b.Inf {
+		return ff.Elt{}, false
+	}
+	if a.X.Equal(b.X) {
+		if a.Y.Equal(b.Y) && !a.Y.IsZero() {
+			return pr.F.Add(a.Y, a.Y), true
+		}
+		return ff.Elt{}, false // vertical chord: a + b = ∞
+	}
+	return pr.F.Sub(b.X, a.X), true
+}
+
+// millerStepDegenerate finishes a step millerStepDen declared
+// inversion-free.
+func (pr *Params) millerStepDegenerate(a, b ec.Point, at ec.Point2) (ff.Elt2, ff.Elt2, ec.Point) {
+	one := pr.X.One()
 	if a.Inf && b.Inf {
 		return one, one, ec.Point{Inf: true}
 	}
@@ -143,20 +177,23 @@ func (pr *Params) millerStep(a, b ec.Point, at ec.Point2) (ff.Elt2, ff.Elt2, ec.
 		va := pr.verticalAt(a.X, at)
 		return va, va, a
 	}
+	// Vertical chord: a + b = ∞, so the "vertical at a+b" contributes 1.
+	return pr.verticalAt(a.X, at), one, ec.Point{Inf: true}
+}
+
+// millerStepFinish completes a non-degenerate step given the inverted
+// slope denominator.
+func (pr *Params) millerStepFinish(a, b ec.Point, at ec.Point2, invDen ff.Elt) (ff.Elt2, ff.Elt2, ec.Point) {
+	f := pr.F
+	x := pr.X
 
 	var lambda ff.Elt
 	if a.X.Equal(b.X) {
-		if a.Y.Equal(b.Y) && !a.Y.IsZero() {
-			// Tangent: λ = 3x²/2y (curve coefficient a = 0).
-			num := f.Mul(f.FromInt64(3), f.Square(a.X))
-			lambda = f.Mul(num, f.Inv(f.Add(a.Y, a.Y)))
-		} else {
-			// Vertical chord: a + b = ∞, so the "vertical at a+b"
-			// contributes 1.
-			return pr.verticalAt(a.X, at), one, ec.Point{Inf: true}
-		}
+		// Tangent: λ = 3x²/2y (curve coefficient a = 0).
+		num := f.Mul(f.FromInt64(3), f.Square(a.X))
+		lambda = f.Mul(num, invDen)
 	} else {
-		lambda = f.Mul(f.Sub(b.Y, a.Y), f.Inv(f.Sub(b.X, a.X)))
+		lambda = f.Mul(f.Sub(b.Y, a.Y), invDen)
 	}
 
 	// l(at) = y_at − y_a − λ(x_at − x_a)

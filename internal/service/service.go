@@ -205,6 +205,20 @@ func (c *Client) Query(q core.Query, batched bool) (*core.VO, error) {
 	return resp.VO, nil
 }
 
+// QueryVerified runs a remote time-window query and verifies the VO
+// locally with the supplied verifier before returning the results —
+// the one-call path a light client actually wants. The returned
+// objects carry the full soundness/completeness guarantee; any SP
+// misbehavior surfaces as the verifier's error. The verifier defaults
+// to the batched engine; set ver.Sequential for the baseline.
+func (c *Client) QueryVerified(q core.Query, batched bool, ver *core.Verifier) ([]chain.Object, error) {
+	vo, err := c.Query(q, batched)
+	if err != nil {
+		return nil, err
+	}
+	return ver.VerifyTimeWindow(q, vo)
+}
+
 // Stats fetches the SP's proof-engine counters (proofs computed,
 // cache hits/misses, aggregation groups).
 func (c *Client) Stats() (proofs.Stats, error) {

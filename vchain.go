@@ -130,6 +130,10 @@ type Config struct {
 	// SPWorkers is the SP's proof-computation worker count (the paper's
 	// SP runs 24 hyper-threads). Default 1 (inline).
 	SPWorkers int
+	// VerifyWorkers bounds the light client's batched verification
+	// flush. 0 means all cores (GOMAXPROCS); 1 keeps verification on
+	// the calling goroutine.
+	VerifyWorkers int
 	// ProofCacheSize bounds the shared proof engine's LRU memoization
 	// cache: repeated (multiset, clause) disjointness proofs across
 	// queries, subscriptions, and blocks are served from it. 0 means
