@@ -3,6 +3,7 @@ package vchain
 import (
 	"github.com/vchain-go/vchain/internal/chain"
 	"github.com/vchain-go/vchain/internal/core"
+	"github.com/vchain-go/vchain/internal/service"
 	"github.com/vchain-go/vchain/internal/subscribe"
 )
 
@@ -71,3 +72,59 @@ func (c *LightClient) VerifyPublication(q Query, pub *Publication) ([]Object, er
 // VOSize reports a VO's transfer size in bytes (the paper's VO-size
 // metric; result payloads excluded).
 func (c *LightClient) VOSize(vo *VO) int { return vo.SizeBytes(c.sys.acc) }
+
+// SPClient is a light client's connection to a remote SP (a node
+// serving via FullNode.Serve). Every answer — one-shot or streamed —
+// is verified locally against the client's own header store before it
+// is returned; the SP is never trusted.
+type SPClient struct {
+	c   *LightClient
+	cli *service.Client
+}
+
+// DialSP connects this light client to a remote SP. The connection
+// shares the client's header store: headers sync over it and every VO
+// verifies against it.
+func (c *LightClient) DialSP(addr string) (*SPClient, error) {
+	cli, err := service.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &SPClient{c: c, cli: cli}, nil
+}
+
+// SyncHeaders fetches headers the client doesn't have yet (in bounded
+// batches), validating linkage and proof-of-work locally.
+func (s *SPClient) SyncHeaders() error {
+	return s.cli.SyncHeaders(s.c.light)
+}
+
+// Query runs a remote time-window query and verifies the VO locally
+// before returning the results (headers are synced first). A nil
+// error certifies soundness and completeness.
+func (s *SPClient) Query(q Query, batched bool) ([]Object, error) {
+	if err := s.SyncHeaders(); err != nil {
+		return nil, err
+	}
+	ver := &core.Verifier{Acc: s.c.sys.acc, Light: s.c.light, Workers: s.c.sys.cfg.VerifyWorkers}
+	return s.cli.QueryVerified(q, batched, ver)
+}
+
+// Subscribe registers a continuous query at the SP and returns a
+// stream of locally verified publications: read RemoteStream.C until
+// it closes; Close to unsubscribe. Tampered publications surface as
+// Delivery.Err wrapping ErrSoundness/ErrCompleteness and are never
+// delivered as results.
+func (s *SPClient) Subscribe(q Query) (*RemoteStream, error) {
+	return s.cli.Subscribe(q, service.SubscribeConfig{
+		Acc:           s.c.sys.acc,
+		Light:         s.c.light,
+		VerifyWorkers: s.c.sys.cfg.VerifyWorkers,
+	})
+}
+
+// Stats fetches the SP's proof-engine counters.
+func (s *SPClient) Stats() (ProofStats, error) { return s.cli.Stats() }
+
+// Close disconnects (ending every subscription stream).
+func (s *SPClient) Close() error { return s.cli.Close() }

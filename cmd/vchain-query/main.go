@@ -50,12 +50,8 @@ func main() {
 	}
 	defer cli.Close()
 
-	headers, err := cli.Headers(0)
-	if err != nil {
-		fatal(err)
-	}
 	light := chain.NewLightStore(0)
-	if err := light.Sync(headers); err != nil {
+	if err := cli.SyncHeaders(light); err != nil {
 		fatal(fmt.Errorf("header sync failed (tampered chain?): %w", err))
 	}
 	fmt.Printf("synced %d headers (%d bits of light storage)\n", light.Height(), light.SizeBits())

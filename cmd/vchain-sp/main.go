@@ -1,10 +1,16 @@
 // Command vchain-sp runs a vChain service provider: it mines a
 // synthetic workload into an ADS-carrying chain and serves verifiable
-// time-window queries over TCP. Pair it with vchain-query.
+// time-window queries and streaming subscriptions over TCP. Pair it
+// with vchain-query (one-shot) and vchain-subscribe (streaming).
 //
 // Usage:
 //
 //	vchain-sp -listen 127.0.0.1:7060 -dataset eth -blocks 32
+//	vchain-sp -listen 127.0.0.1:7060 -mine-interval 2s -sub-lazy
+//
+// With -mine-interval the SP keeps mining (cycling the dataset) after
+// startup, fanning each new block's publications out to connected
+// subscribers — the paper's §7 scenario end to end.
 //
 // The SP prints the deterministic system configuration that clients
 // must mirror (seed, accumulator, dataset) — in a production deployment
@@ -16,25 +22,33 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"github.com/vchain-go/vchain/internal/accumulator"
+	"github.com/vchain-go/vchain/internal/chain"
 	"github.com/vchain-go/vchain/internal/core"
 	"github.com/vchain-go/vchain/internal/crypto/pairing"
 	"github.com/vchain-go/vchain/internal/proofs"
 	"github.com/vchain-go/vchain/internal/service"
+	"github.com/vchain-go/vchain/internal/subscribe"
 	"github.com/vchain-go/vchain/internal/workload"
 )
 
 func main() {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:7060", "address to serve on")
-		dataset = flag.String("dataset", "eth", "workload: 4sq | wx | eth")
-		blocks  = flag.Int("blocks", 16, "blocks to mine")
-		objs    = flag.Int("objects", 4, "objects per block")
-		preset  = flag.String("preset", "toy", "pairing preset")
-		seed    = flag.Int64("seed", 42, "workload seed")
-		workers = flag.Int("workers", 4, "proof-computation workers")
-		cache   = flag.Int("proof-cache", 0, "proof cache entries (0 = default, <0 disables)")
+		listen   = flag.String("listen", "127.0.0.1:7060", "address to serve on")
+		dataset  = flag.String("dataset", "eth", "workload: 4sq | wx | eth")
+		blocks   = flag.Int("blocks", 16, "blocks to mine at startup")
+		objs     = flag.Int("objects", 4, "objects per block")
+		preset   = flag.String("preset", "toy", "pairing preset")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		workers  = flag.Int("workers", 4, "proof-computation workers")
+		cache    = flag.Int("proof-cache", 0, "proof cache entries (0 = default, <0 disables)")
+		interval = flag.Duration("mine-interval", 0, "keep mining one block per interval after startup (0 = off)")
+		subLazy  = flag.Bool("sub-lazy", false, "lazy subscription authentication (§7.2): defer mismatch proofs into spans")
+		subIP    = flag.Bool("sub-iptree", true, "share clause evaluation across subscriptions with the IP-tree (§7.1)")
+		subLT    = flag.Int("lazy-threshold", 0, "blocks a lazy span may stay pending (0 = engine default)")
+		maxFrame = flag.Int("max-frame", 0, "wire frame size cap in bytes (0 = default)")
 	)
 	flag.Parse()
 
@@ -47,19 +61,37 @@ func main() {
 	}
 	pr := pairing.ByName(*preset)
 	// The demo derives the accumulator key deterministically so that
-	// vchain-query can reconstruct the same public key.
+	// vchain-query and vchain-subscribe can reconstruct the same
+	// public key.
 	q := 4096
 	acc := accumulator.KeyGenCon2Deterministic(pr, q, accumulator.HashEncoder{Q: q}, []byte("vchain-demo"))
 	node := core.NewFullNode(0, &core.Builder{Acc: acc, Mode: core.ModeBoth, SkipSize: 2, Width: ds.Width})
 	node.Proofs = proofs.New(acc, proofs.Options{Workers: *workers, CacheSize: *cache})
 	fmt.Printf("mining %d blocks of %s (%d objects each)...\n", *blocks, *dataset, *objs)
-	for i, blk := range ds.Blocks {
-		if _, err := node.MineBlock(blk, int64(i)); err != nil {
+	mined := 0
+	mine := func(objs []chain.Object) error {
+		if _, err := node.MineBlock(objs, int64(mined)); err != nil {
+			return err
+		}
+		mined++
+		return nil
+	}
+	for _, blk := range ds.Blocks {
+		if err := mine(blk); err != nil {
 			fmt.Fprintln(os.Stderr, "vchain-sp:", err)
 			os.Exit(1)
 		}
 	}
-	srv := service.NewServer(node)
+	srv := service.NewServer(node, service.ServerConfig{
+		MaxFrame: *maxFrame,
+		Subscriptions: subscribe.Options{
+			UseIPTree:     *subIP,
+			Lazy:          *subLazy,
+			LazyThreshold: *subLT,
+			Dims:          ds.Dims,
+			Width:         ds.Width,
+		},
+	})
 	addr, err := srv.Serve(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vchain-sp:", err)
@@ -67,14 +99,47 @@ func main() {
 	}
 	fmt.Printf("serving on %s  (dataset=%s blocks=%d preset=%s seed=%d width=%d)\n",
 		addr, *dataset, *blocks, *preset, *seed, ds.Width)
-	fmt.Println("query with: vchain-query -sp", addr, "-preset", *preset, "-width", ds.Width)
+	fmt.Println("query with:     vchain-query -sp", addr, "-preset", *preset, "-width", ds.Width)
+	fmt.Println("subscribe with: vchain-subscribe -sp", addr, "-preset", *preset, "-width", ds.Width)
 
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)
-	<-ch
+
+	if *interval > 0 {
+		// Continuous mining: cycle the dataset's blocks so subscribers
+		// keep receiving publications. ProcessBlock fans each block's
+		// due publications out to every connected subscriber.
+		ticker := time.NewTicker(*interval)
+		defer ticker.Stop()
+		fmt.Printf("mining one block every %v (ctrl-C to stop)\n", *interval)
+	loop:
+		for {
+			select {
+			case <-ticker.C:
+				if err := mine(ds.Blocks[mined%len(ds.Blocks)]); err != nil {
+					fmt.Fprintln(os.Stderr, "vchain-sp: mining:", err)
+					break loop
+				}
+				if err := srv.ProcessBlock(mined - 1); err != nil {
+					fmt.Fprintln(os.Stderr, "vchain-sp: fan-out:", err)
+					break loop
+				}
+				if subs := srv.Subscriptions(); len(subs) > 0 {
+					fmt.Printf("height %d mined; %d subscription(s) processed\n", mined-1, len(subs))
+				}
+			case <-ch:
+				break loop
+			}
+		}
+	} else {
+		<-ch
+	}
 	srv.Close()
 
 	st := node.ProofEngine().Stats()
 	fmt.Printf("proof engine: %d proofs computed, %d cache hits / %d misses (%.1f%% hit rate), %d agg groups, %d errors\n",
 		st.Proofs, st.CacheHits, st.CacheMisses, st.HitRate()*100, st.AggGroups, st.Errors)
+	if ev := srv.Evictions(); ev > 0 {
+		fmt.Printf("slow consumers evicted: %d\n", ev)
+	}
 }

@@ -314,6 +314,9 @@ var Experiments = map[string]func(Options) (*Table, error){
 	"fig21":  func(o Options) (*Table, error) { return SkipListFig(workload.WX, "Fig. 21", o) },
 	"fig22":  func(o Options) (*Table, error) { return SkipListFig(workload.ETH, "Fig. 22", o) },
 	"verify": func(o Options) (*Table, error) { return VerifyBatchFig(workload.FSQ, o) },
+	"subscribe": func(o Options) (*Table, error) {
+		return SubscriptionStreamFig(workload.FSQ, o)
+	},
 }
 
 // ExperimentNames returns the sorted driver names.

@@ -208,6 +208,24 @@ func (v *Verifier) flush(cc *checkCollector) error {
 	return nil
 }
 
+// VerifySpan checks a VO covering the contiguous block span
+// [from, to] — the form subscription publications take (§7). The
+// query's own window fields are ignored; the span is validated for
+// shape and header coverage before the time-window machinery runs.
+// This is the single entry point for publication verification: the
+// subscription engine's client side and the service stream both route
+// through it.
+func (v *Verifier) VerifySpan(q Query, from, to int, vo *VO) ([]chain.Object, error) {
+	if vo == nil {
+		return nil, fmt.Errorf("%w: publication without VO", ErrCompleteness)
+	}
+	if from < 0 || to < from {
+		return nil, fmt.Errorf("%w: invalid publication span [%d,%d]", ErrCompleteness, from, to)
+	}
+	q.StartBlock, q.EndBlock = from, to
+	return v.VerifyTimeWindow(q, vo)
+}
+
 // VerifyTimeWindow checks a VO against q and the light headers,
 // returning the verified result set. Any mismatch between the VO and
 // the committed chain state yields an error; a nil error certifies both

@@ -1,0 +1,332 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/vchain-go/vchain/internal/chain"
+	"github.com/vchain-go/vchain/internal/core"
+	"github.com/vchain-go/vchain/internal/proofs"
+	"github.com/vchain-go/vchain/internal/subscribe"
+)
+
+// ClientConfig tunes the light-client side of the wire protocol. The
+// zero value uses the defaults noted on each field.
+type ClientConfig struct {
+	// DialTimeout bounds the TCP dial (default 10s).
+	DialTimeout time.Duration
+	// RPCTimeout bounds how long a request waits for its response
+	// (default 30s). A stalled or dead SP fails every in-flight call
+	// within this window instead of wedging callers forever.
+	RPCTimeout time.Duration
+	// FrameTimeout bounds a started frame's arrival or drain
+	// (DefaultFrameTimeout when 0).
+	FrameTimeout time.Duration
+	// MaxFrame caps an inbound frame's payload (DefaultMaxFrame when
+	// 0): a malicious SP cannot stream an unbounded frame into the
+	// decoder.
+	MaxFrame int
+	// SubBuffer is a subscription's delivery channel capacity (default
+	// 16).
+	SubBuffer int
+	// SubQueue caps a subscription's pending (pushed but not yet
+	// verified) publications (default 1024). An SP pushing faster than
+	// the client can verify for that long is flooding; the stream ends
+	// with an overrun error instead of buffering without bound.
+	SubQueue int
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 10 * time.Second
+	}
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = 30 * time.Second
+	}
+	if c.SubBuffer <= 0 {
+		c.SubBuffer = 16
+	}
+	if c.SubQueue <= 0 {
+		c.SubQueue = 1024
+	}
+	return c
+}
+
+// maxOrphans bounds publications parked while a Subscribe ack is in
+// flight; beyond it frames are counted as dropped rather than
+// buffered (the pen exists for a race window, not for storage).
+const maxOrphans = 256
+
+// ErrClosed reports an operation on a closed or failed connection.
+var ErrClosed = errors.New("service: connection closed")
+
+// Client is a light node's connection to a remote SP. A background
+// read loop dispatches responses to their callers by Seq and routes
+// pushed publications to their subscriptions, so any number of calls
+// (and subscription streams) can be in flight concurrently.
+type Client struct {
+	cfg  ClientConfig
+	fc   *frameConn
+	conn net.Conn
+	done chan struct{}
+
+	mu      sync.Mutex
+	seq     uint64
+	pending map[uint64]chan *Response
+	subs    map[int]*Subscription
+	err     error // terminal connection error
+	closing bool  // user-initiated Close in progress
+	dropped int   // pushed publications with no local subscription
+
+	// subscribing counts in-flight Subscribe calls; while positive,
+	// publications with no matching subscription are parked in orphans
+	// (they may belong to a subscription whose ack hasn't registered
+	// yet) instead of being dropped.
+	subscribing int
+	orphans     []*subscribe.Publication
+}
+
+// Dial connects to an SP. An optional ClientConfig tunes timeouts and
+// frame caps.
+func Dial(addr string, cfg ...ClientConfig) (*Client, error) {
+	var c ClientConfig
+	if len(cfg) > 0 {
+		c = cfg[0]
+	}
+	c = c.withDefaults()
+	conn, err := net.DialTimeout("tcp", addr, c.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("service: dial: %w", err)
+	}
+	cli := &Client{
+		cfg:     c,
+		fc:      newFrameConn(conn, c.MaxFrame, c.FrameTimeout),
+		conn:    conn,
+		done:    make(chan struct{}),
+		pending: map[uint64]chan *Response{},
+		subs:    map[int]*Subscription{},
+	}
+	go cli.readLoop()
+	return cli, nil
+}
+
+// readLoop is the connection's only reader: it matches responses to
+// waiting calls and hands pushed publications to their subscriptions.
+func (c *Client) readLoop() {
+	for {
+		resp := new(Response)
+		if err := c.fc.readFrame(resp); err != nil {
+			c.fail(fmt.Errorf("service: receive: %w", err))
+			return
+		}
+		if resp.Seq != 0 {
+			c.mu.Lock()
+			ch := c.pending[resp.Seq]
+			delete(c.pending, resp.Seq)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- resp // buffered; never blocks
+			}
+			continue
+		}
+		if resp.Pub == nil {
+			continue // unknown push frame; ignore
+		}
+		c.mu.Lock()
+		sub := c.subs[resp.Pub.QueryID]
+		if sub == nil {
+			if c.subscribing > 0 && len(c.orphans) < maxOrphans {
+				c.orphans = append(c.orphans, resp.Pub)
+			} else {
+				c.dropped++
+			}
+		}
+		c.mu.Unlock()
+		if sub != nil {
+			// enqueue never blocks (bounded queue, overrun ends the
+			// stream), so a slow subscription consumer cannot
+			// deadlock its own header-sync requests on this loop.
+			sub.enqueue(resp.Pub)
+		}
+	}
+}
+
+// fail marks the connection dead, closes the socket (so the server
+// sees the disconnect and deregisters this client's subscriptions
+// instead of computing proofs for a peer that will never read), and
+// unblocks every waiter and stream. The first caller's error sticks
+// and closes done; later calls are no-ops.
+func (c *Client) fail(err error) {
+	c.conn.Close()
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		return
+	}
+	if c.closing {
+		err = ErrClosed
+	}
+	c.err = err
+	subs := make([]*Subscription, 0, len(c.subs))
+	for _, s := range c.subs {
+		subs = append(subs, s)
+	}
+	c.subs = map[int]*Subscription{}
+	c.mu.Unlock()
+	close(c.done)
+	for _, s := range subs {
+		s.connFailed(err)
+	}
+}
+
+// roundTrip sends one request and waits for its response. Concurrent
+// callers proceed independently: the connection mutex is held only to
+// assign a Seq, and a dead or stalled SP fails each caller within
+// RPCTimeout instead of queueing them behind one another.
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.seq++
+	seq := c.seq
+	req.Seq = seq
+	ch := make(chan *Response, 1)
+	c.pending[seq] = ch
+	c.mu.Unlock()
+
+	abort := func() {
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+	}
+	if err := c.fc.writeFrame(req); err != nil {
+		abort()
+		if errors.Is(err, errBrokenWrite) {
+			// A partial write desynchronizes the stream: the whole
+			// connection is done, not just this call.
+			c.fail(err)
+		}
+		return nil, err
+	}
+	timer := time.NewTimer(c.cfg.RPCTimeout)
+	defer timer.Stop()
+	select {
+	case resp := <-ch:
+		if resp.Err != "" {
+			return nil, errors.New("service: SP error: " + resp.Err)
+		}
+		return resp, nil
+	case <-c.done:
+		abort()
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	case <-timer.C:
+		abort()
+		return nil, fmt.Errorf("service: %q timed out after %v", req.Kind, c.cfg.RPCTimeout)
+	}
+}
+
+// Headers fetches one batch of headers from a height onward. The
+// server bounds the batch size; use SyncHeaders to catch a light
+// store fully up.
+func (c *Client) Headers(from int) ([]chain.Header, error) {
+	resp, err := c.roundTrip(&Request{Kind: "headers", FromHeight: from})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Headers, nil
+}
+
+// SyncHeaders catches a light store up to the SP's chain tip, fetching
+// bounded batches until none remain. Every batch is PoW- and
+// linkage-validated by the store; the SP cannot feed a divergent
+// chain.
+func (c *Client) SyncHeaders(light *chain.LightStore) error {
+	for {
+		from := light.Height()
+		headers, err := c.Headers(from)
+		if err != nil {
+			return err
+		}
+		if len(headers) == 0 {
+			return nil
+		}
+		if err := light.Sync(headers); err != nil {
+			return fmt.Errorf("service: header sync: %w", err)
+		}
+		if light.Height() == from {
+			// A non-empty batch that advances nothing means the SP is
+			// replaying headers we already hold — fail at the true
+			// fault point instead of letting a later verification
+			// blame its VO for the stale view.
+			return fmt.Errorf("service: header sync stalled: SP replayed %d stale headers from height %d",
+				len(headers), from)
+		}
+	}
+}
+
+// Query runs a remote time-window query and returns the (unverified)
+// VO; the caller must verify it with a core.Verifier.
+func (c *Client) Query(q core.Query, batched bool) (*core.VO, error) {
+	resp, err := c.roundTrip(&Request{Kind: "query", Query: q, Batched: batched})
+	if err != nil {
+		return nil, err
+	}
+	if resp.VO == nil {
+		return nil, errors.New("service: SP returned no VO")
+	}
+	return resp.VO, nil
+}
+
+// QueryVerified runs a remote time-window query and verifies the VO
+// locally with the supplied verifier before returning the results —
+// the one-call path a light client actually wants. The returned
+// objects carry the full soundness/completeness guarantee; any SP
+// misbehavior surfaces as the verifier's error. The verifier defaults
+// to the batched engine; set ver.Sequential for the baseline.
+func (c *Client) QueryVerified(q core.Query, batched bool, ver *core.Verifier) ([]chain.Object, error) {
+	vo, err := c.Query(q, batched)
+	if err != nil {
+		return nil, err
+	}
+	return ver.VerifyTimeWindow(q, vo)
+}
+
+// Stats fetches the SP's proof-engine counters (proofs computed,
+// cache hits/misses, aggregation groups).
+func (c *Client) Stats() (proofs.Stats, error) {
+	resp, err := c.roundTrip(&Request{Kind: "stats"})
+	if err != nil {
+		return proofs.Stats{}, err
+	}
+	if resp.Stats == nil {
+		return proofs.Stats{}, errors.New("service: SP returned no stats")
+	}
+	return *resp.Stats, nil
+}
+
+// DroppedPublications reports pushed publications that arrived with no
+// matching local subscription (late frames after an unsubscribe, or a
+// misbehaving SP inventing ids).
+func (c *Client) DroppedPublications() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Close disconnects. In-flight calls fail with ErrClosed and every
+// subscription stream ends.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closing = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}

@@ -1,0 +1,161 @@
+package service
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// The wire protocol is length-prefixed gob: every message travels as a
+// 4-byte big-endian payload length followed by a self-contained gob
+// stream of exactly that many bytes. The prefix lets both sides cap the
+// size of a frame *before* decoding it — a raw gob stream from an
+// untrusted peer could otherwise announce multi-gigabyte values and OOM
+// the decoder — and makes the decode surface a pure function of a
+// bounded byte slice (fuzzable, see FuzzFrameDecode).
+
+const (
+	// DefaultMaxFrame bounds a peer's frame payload. Time-window VOs
+	// over toy chains are a few KB; even default-preset VOs over long
+	// windows stay well under a megabyte, so a few MB leaves headroom
+	// without letting a malicious peer stream gigabytes.
+	DefaultMaxFrame = 4 << 20
+
+	// DefaultFrameTimeout bounds how long a started frame may take to
+	// arrive or drain: once the first prefix byte is read, the rest of
+	// the frame must complete within this window (anti-slowloris). Idle
+	// connections — a subscriber waiting for the next publication — are
+	// unaffected, because the deadline is armed only after a frame
+	// begins.
+	DefaultFrameTimeout = 15 * time.Second
+
+	framePrefixLen = 4
+)
+
+// ErrFrameTooLarge reports a frame whose payload exceeds the local
+// cap — inbound (announced length over the cap: the connection is
+// dropped, the stream position after it is unrecoverable) or outbound
+// (caught before any byte is written, so the connection stays usable
+// and only the one message fails).
+var ErrFrameTooLarge = errors.New("service: frame exceeds size cap")
+
+// errBrokenWrite marks a frame write that failed partway: the stream
+// position is lost and the connection must be abandoned. Pre-write
+// failures (encoding, the outbound size check) deliberately do not
+// wrap it.
+var errBrokenWrite = errors.New("service: connection write failed")
+
+// frameConn wraps a connection with the length-prefixed framing, the
+// size cap, and the partial-frame deadlines. Reads and writes are
+// internally serialized (one reader, one writer at a time).
+type frameConn struct {
+	conn     net.Conn
+	maxFrame int
+	timeout  time.Duration
+
+	rmu sync.Mutex
+	wmu sync.Mutex
+}
+
+func newFrameConn(conn net.Conn, maxFrame int, timeout time.Duration) *frameConn {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	if timeout <= 0 {
+		timeout = DefaultFrameTimeout
+	}
+	return &frameConn{conn: conn, maxFrame: maxFrame, timeout: timeout}
+}
+
+// writeFrame gob-encodes v and writes it as one frame under the write
+// deadline. A payload over the local cap fails before any byte hits
+// the wire (the peer would only drop the connection on it anyway), so
+// the stream stays usable.
+func (f *frameConn) writeFrame(v any) error {
+	payload, err := encodeFrame(v)
+	if err != nil {
+		return err
+	}
+	if n := len(payload) - framePrefixLen; n > f.maxFrame {
+		return fmt.Errorf("%w: outbound %d bytes (cap %d)", ErrFrameTooLarge, n, f.maxFrame)
+	}
+	f.wmu.Lock()
+	defer f.wmu.Unlock()
+	f.conn.SetWriteDeadline(time.Now().Add(f.timeout))
+	defer f.conn.SetWriteDeadline(time.Time{})
+	if _, err := f.conn.Write(payload); err != nil {
+		return fmt.Errorf("%w: %v", errBrokenWrite, err)
+	}
+	return nil
+}
+
+// readFrame reads one frame and decodes it into v. The read blocks
+// indefinitely while the connection is idle; as soon as the first
+// prefix byte arrives, the remainder of the frame must complete within
+// the frame timeout.
+func (f *frameConn) readFrame(v any) error {
+	f.rmu.Lock()
+	defer f.rmu.Unlock()
+
+	var prefix [framePrefixLen]byte
+	// First byte: no deadline — idle is legitimate (a subscriber can
+	// sit quietly between publications).
+	if _, err := io.ReadFull(f.conn, prefix[:1]); err != nil {
+		return err
+	}
+	// A frame has started: the peer must finish it promptly.
+	f.conn.SetReadDeadline(time.Now().Add(f.timeout))
+	defer f.conn.SetReadDeadline(time.Time{})
+	if _, err := io.ReadFull(f.conn, prefix[1:]); err != nil {
+		return fmt.Errorf("service: frame prefix: %w", err)
+	}
+	// Compare in 64 bits: on 32-bit platforms a uint32 length ≥ 2³¹
+	// would truncate to a negative int and slip past the cap.
+	n32 := binary.BigEndian.Uint32(prefix[:])
+	if int64(n32) > int64(f.maxFrame) {
+		return fmt.Errorf("%w: %d bytes (cap %d)", ErrFrameTooLarge, n32, f.maxFrame)
+	}
+	body := make([]byte, int(n32))
+	if _, err := io.ReadFull(f.conn, body); err != nil {
+		return fmt.Errorf("service: frame body: %w", err)
+	}
+	return decodeFrame(body, v)
+}
+
+// encodeFrame renders v as prefix‖gob. Each frame is its own gob
+// stream, so frames decode independently of connection history (and a
+// dropped frame cannot desynchronize the peer's decoder state).
+func encodeFrame(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, framePrefixLen))
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("service: encode: %w", err)
+	}
+	out := buf.Bytes()
+	n := len(out) - framePrefixLen
+	if int64(n) > int64(^uint32(0)) {
+		// The prefix would wrap and desynchronize the peer's decoder.
+		return nil, fmt.Errorf("%w: %d bytes exceeds the 4-byte length prefix", ErrFrameTooLarge, n)
+	}
+	binary.BigEndian.PutUint32(out[:framePrefixLen], uint32(n))
+	return out, nil
+}
+
+// decodeFrame decodes one frame body into v, rejecting trailing bytes
+// (one frame is exactly one value).
+func decodeFrame(body []byte, v any) error {
+	r := bytes.NewReader(body)
+	if err := gob.NewDecoder(r).Decode(v); err != nil {
+		return fmt.Errorf("service: decode: %w", err)
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("service: decode: %d trailing bytes in frame", r.Len())
+	}
+	return nil
+}

@@ -1,0 +1,351 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/vchain-go/vchain/internal/core"
+	"github.com/vchain-go/vchain/internal/subscribe"
+)
+
+// ServerConfig tunes the SP side of the wire protocol. The zero value
+// uses the defaults noted on each field.
+type ServerConfig struct {
+	// MaxFrame caps an inbound frame's payload in bytes
+	// (DefaultMaxFrame when 0). Requests are small; the cap exists so
+	// a malicious client cannot stream a multi-GB frame into the
+	// decoder.
+	MaxFrame int
+	// FrameTimeout bounds how long a started frame may take to finish
+	// arriving or draining (DefaultFrameTimeout when 0). Idle
+	// connections are unaffected.
+	FrameTimeout time.Duration
+	// SendQueue is the per-connection outbound queue length (default
+	// 64). When a subscriber's queue is full at publication fan-out
+	// time the connection is evicted: a slow consumer must never stall
+	// the miner or other subscribers.
+	SendQueue int
+	// Subscriptions configures the server's subscription engine
+	// (IP-tree sharing, lazy spans). The engine always routes through
+	// the node's shared proof engine.
+	Subscriptions subscribe.Options
+}
+
+// maxHeaderBatch bounds one headers response (~150 gob bytes per
+// header keeps the frame well under DefaultMaxFrame). A variable so
+// tests can exercise the pagination loop on short chains.
+var maxHeaderBatch = 2048
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.SendQueue <= 0 {
+		c.SendQueue = 64
+	}
+	return c
+}
+
+// Server serves one full node's chain: time-window queries,
+// header sync, and streaming subscriptions.
+type Server struct {
+	node   *core.FullNode
+	cfg    ServerConfig
+	engine *subscribe.Engine
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[*serverConn]struct{}
+	subOwner map[int]*serverConn
+	closed   bool
+	evicted  int
+
+	// tamperPub is a test hook: the adversarial streaming suite uses
+	// it to model a cheating SP mutating publications before push.
+	// Returning nil drops the publication.
+	tamperPub func(*subscribe.Publication) *subscribe.Publication
+}
+
+// NewServer wraps a full node. An optional ServerConfig tunes frame
+// caps, queue sizes, and the subscription engine.
+func NewServer(node *core.FullNode, cfg ...ServerConfig) *Server {
+	var c ServerConfig
+	if len(cfg) > 0 {
+		c = cfg[0]
+	}
+	c = c.withDefaults()
+	subOpts := c.Subscriptions
+	if subOpts.Proofs == nil {
+		subOpts.Proofs = node.ProofEngine()
+	}
+	if subOpts.Width <= 0 {
+		subOpts.Width = node.Builder.Width
+	}
+	return &Server{
+		node:     node,
+		cfg:      c,
+		engine:   subscribe.NewEngine(node.Builder.Acc, subOpts),
+		conns:    map[*serverConn]struct{}{},
+		subOwner: map[int]*serverConn{},
+	}
+}
+
+// Serve starts listening on addr (e.g. "127.0.0.1:0") and returns the
+// bound address. Connections are handled on background goroutines
+// until Close.
+func (s *Server) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("service: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		sc := &serverConn{
+			srv:  s,
+			fc:   newFrameConn(conn, s.cfg.MaxFrame, s.cfg.FrameTimeout),
+			out:  make(chan *Response, s.cfg.SendQueue),
+			done: make(chan struct{}),
+			subs: map[int]struct{}{},
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[sc] = struct{}{}
+		s.mu.Unlock()
+		go sc.writeLoop()
+		go sc.readLoop()
+	}
+}
+
+// ProcessBlock runs the subscription engine over a freshly mined block
+// and fans the due publications out to their subscribers' outbound
+// queues. The miner calls it once per block, in height order. A
+// subscriber whose queue is full is evicted rather than awaited: one
+// slow consumer must not block the mining path or other subscribers.
+func (s *Server) ProcessBlock(height int) error {
+	ads := s.node.ADSAt(height)
+	if ads == nil {
+		return fmt.Errorf("service: no ADS at height %d", height)
+	}
+	pubs, err := s.engine.ProcessBlock(ads, s.node)
+	if err != nil {
+		return fmt.Errorf("service: subscriptions at height %d: %w", height, err)
+	}
+	for i := range pubs {
+		s.pushPub(&pubs[i])
+	}
+	return nil
+}
+
+// pushPub routes one publication to its owning connection.
+func (s *Server) pushPub(pub *subscribe.Publication) {
+	if s.tamperPub != nil {
+		if pub = s.tamperPub(pub); pub == nil {
+			return
+		}
+	}
+	s.mu.Lock()
+	sc := s.subOwner[pub.QueryID]
+	s.mu.Unlock()
+	if sc == nil {
+		return // subscriber disconnected between engine and fan-out
+	}
+	select {
+	case sc.out <- &Response{Pub: pub}:
+	default:
+		// Slow consumer: the outbound queue is full. Drop the
+		// connection (its subscriptions deregister with it) instead of
+		// blocking the fan-out.
+		s.mu.Lock()
+		s.evicted++
+		s.mu.Unlock()
+		sc.teardown()
+	}
+}
+
+// Evictions reports how many connections were dropped for slow
+// consumption.
+func (s *Server) Evictions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted
+}
+
+// Subscriptions returns the ids currently registered by remote
+// clients.
+func (s *Server) Subscriptions() []int { return s.engine.Subscriptions() }
+
+// Close stops the listener and open connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	conns := make([]*serverConn, 0, len(s.conns))
+	for sc := range s.conns {
+		conns = append(conns, sc)
+	}
+	s.mu.Unlock()
+	for _, sc := range conns {
+		sc.teardown()
+	}
+	return err
+}
+
+// serverConn is one client connection: a reader goroutine decoding
+// requests, a writer goroutine draining the outbound queue, and the
+// subscription ids owned by this connection.
+type serverConn struct {
+	srv  *Server
+	fc   *frameConn
+	out  chan *Response
+	done chan struct{}
+	once sync.Once
+
+	// subs is guarded by srv.mu.
+	subs map[int]struct{}
+}
+
+func (sc *serverConn) readLoop() {
+	defer sc.teardown()
+	for {
+		var req Request
+		if err := sc.fc.readFrame(&req); err != nil {
+			return // disconnect, oversized frame, or stalled frame
+		}
+		resp := sc.process(&req)
+		resp.Seq = req.Seq
+		select {
+		case sc.out <- resp:
+		case <-sc.done:
+			return
+		}
+	}
+}
+
+func (sc *serverConn) writeLoop() {
+	for {
+		select {
+		case resp := <-sc.out:
+			err := sc.fc.writeFrame(resp)
+			if err != nil && errors.Is(err, ErrFrameTooLarge) {
+				// Nothing hit the wire: the connection is fine, only
+				// this message is too big. Tell the caller when it was
+				// an RPC reply; an oversized publication is dropped
+				// (the client's continuity check will flag the hole).
+				if resp.Seq != 0 {
+					err = sc.fc.writeFrame(&Response{Seq: resp.Seq,
+						Err: "response exceeds the frame size cap"})
+				} else {
+					err = nil
+				}
+			}
+			if err != nil {
+				sc.teardown()
+				return
+			}
+		case <-sc.done:
+			return
+		}
+	}
+}
+
+// teardown closes the connection and deregisters its subscriptions.
+func (sc *serverConn) teardown() {
+	sc.once.Do(func() {
+		close(sc.done)
+		sc.fc.conn.Close()
+		s := sc.srv
+		s.mu.Lock()
+		delete(s.conns, sc)
+		ids := make([]int, 0, len(sc.subs))
+		for id := range sc.subs {
+			ids = append(ids, id)
+			delete(s.subOwner, id)
+		}
+		s.mu.Unlock()
+		for _, id := range ids {
+			s.engine.Deregister(id)
+		}
+	})
+}
+
+func (sc *serverConn) process(req *Request) *Response {
+	s := sc.srv
+	switch req.Kind {
+	case "headers":
+		all := s.node.Store.Headers()
+		if req.FromHeight < 0 || req.FromHeight > len(all) {
+			return &Response{Err: fmt.Sprintf("bad FromHeight %d", req.FromHeight)}
+		}
+		// Bounded batches keep every response frame far below the
+		// frame cap no matter how long the chain grows; the client's
+		// SyncHeaders loops until it is caught up.
+		batch := all[req.FromHeight:]
+		if len(batch) > maxHeaderBatch {
+			batch = batch[:maxHeaderBatch]
+		}
+		return &Response{Headers: batch}
+	case "query":
+		vo, err := s.node.SP(req.Batched).TimeWindowQuery(req.Query)
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		return &Response{VO: vo}
+	case "stats":
+		st := s.node.ProofEngine().Stats()
+		return &Response{Stats: &st}
+	case "subscribe":
+		// Register and record ownership under one lock so a block
+		// mined in between cannot emit a publication that pushPub
+		// finds ownerless (and silently drops). A connection already
+		// torn down (teardown consumed sc.once, so it would never
+		// deregister again) must not register ghost subscriptions.
+		s.mu.Lock()
+		if _, live := s.conns[sc]; !live {
+			s.mu.Unlock()
+			return &Response{Err: "connection closing"}
+		}
+		id, err := s.engine.Register(req.Query)
+		if err != nil {
+			s.mu.Unlock()
+			return &Response{Err: err.Error()}
+		}
+		s.subOwner[id] = sc
+		sc.subs[id] = struct{}{}
+		s.mu.Unlock()
+		return &Response{SubID: id}
+	case "unsubscribe":
+		s.mu.Lock()
+		owner := s.subOwner[req.SubID]
+		if owner == sc {
+			delete(s.subOwner, req.SubID)
+			delete(sc.subs, req.SubID)
+		}
+		s.mu.Unlock()
+		if owner != sc {
+			return &Response{Err: fmt.Sprintf("unknown subscription %d", req.SubID)}
+		}
+		// The final pending lazy span (if any) rides the ack, so the
+		// client sees every block the subscription covered.
+		return &Response{SubID: req.SubID, Pub: s.engine.Deregister(req.SubID)}
+	default:
+		return &Response{Err: fmt.Sprintf("unknown request kind %q", req.Kind)}
+	}
+}

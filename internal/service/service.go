@@ -1,37 +1,57 @@
 // Package service exposes a vChain SP over TCP and gives light clients
-// a remote query interface. The wire protocol is length-delimited gob:
-// each connection carries a sequence of (Request, Response) pairs.
+// a remote query and subscription interface.
+//
+// The wire protocol is length-prefixed gob (see frame.go): each frame
+// is a 4-byte big-endian length followed by one self-contained gob
+// value. Clients send Request frames; the server answers with Response
+// frames echoing the request's Seq, and additionally pushes
+// unsolicited Response frames with Seq == 0 carrying subscription
+// Publications. The Seq multiplexing means a connection can have any
+// number of requests in flight while publications stream in between
+// them.
+//
 // The client never trusts the SP: headers are re-validated on sync and
-// every VO is verified locally, so the transport needs no integrity of
-// its own (matching the paper's threat model, §3).
+// every VO — one-shot or pushed — is verified locally, so the
+// transport needs no integrity of its own (matching the paper's threat
+// model, §3). What the transport does need is resource hygiene against
+// a malicious peer: frames are size-capped before decoding and a
+// started frame must complete within a deadline, on both sides of the
+// connection.
 package service
 
 import (
-	"encoding/gob"
-	"errors"
-	"fmt"
-	"net"
-	"sync"
-
 	"github.com/vchain-go/vchain/internal/chain"
 	"github.com/vchain-go/vchain/internal/core"
 	"github.com/vchain-go/vchain/internal/proofs"
+	"github.com/vchain-go/vchain/internal/subscribe"
 )
 
 // Request is a client → SP message.
 type Request struct {
-	// Kind is "headers", "query", or "stats".
+	// Seq matches the request to its response. Clients use strictly
+	// positive values; 0 is reserved for server-push frames.
+	Seq uint64
+	// Kind is "headers", "query", "stats", "subscribe", or
+	// "unsubscribe".
 	Kind string
 	// FromHeight is the first header wanted (Kind == "headers").
 	FromHeight int
-	// Query is the time-window query (Kind == "query").
+	// Query is the time-window query (Kind == "query") or the
+	// continuous query to register (Kind == "subscribe"; its window
+	// fields are ignored).
 	Query core.Query
 	// Batched requests online batch verification (§6.3).
 	Batched bool
+	// SubID names the subscription to drop (Kind == "unsubscribe").
+	SubID int
 }
 
-// Response is an SP → client message.
+// Response is an SP → client message: either the answer to the request
+// with the same Seq, or — with Seq == 0 — an asynchronous subscription
+// publication.
 type Response struct {
+	// Seq echoes the request; 0 marks a server-push frame.
+	Seq uint64
 	// Err carries a processing error, empty on success.
 	Err string
 	// Headers answers a headers request.
@@ -41,196 +61,9 @@ type Response struct {
 	// Stats answers a stats request with the SP's proof-engine
 	// counters.
 	Stats *proofs.Stats
+	// SubID answers a subscribe request with the registered id.
+	SubID int
+	// Pub is a pushed publication (Seq == 0), or the final pending
+	// span flushed by an unsubscribe.
+	Pub *subscribe.Publication
 }
-
-// Server serves one full node's chain.
-type Server struct {
-	node *core.FullNode
-
-	mu       sync.Mutex
-	listener net.Listener
-	conns    map[net.Conn]struct{}
-	closed   bool
-}
-
-// NewServer wraps a full node.
-func NewServer(node *core.FullNode) *Server {
-	return &Server{node: node, conns: map[net.Conn]struct{}{}}
-}
-
-// Serve starts listening on addr (e.g. "127.0.0.1:0") and returns the
-// bound address. Connections are handled on background goroutines
-// until Close.
-func (s *Server) Serve(addr string) (string, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", fmt.Errorf("service: listen: %w", err)
-	}
-	s.mu.Lock()
-	s.listener = ln
-	s.mu.Unlock()
-	go s.acceptLoop(ln)
-	return ln.Addr().String(), nil
-}
-
-func (s *Server) acceptLoop(ln net.Listener) {
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			conn.Close()
-			return
-		}
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
-		go s.handle(conn)
-	}
-}
-
-func (s *Server) handle(conn net.Conn) {
-	defer func() {
-		conn.Close()
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
-	for {
-		var req Request
-		if err := dec.Decode(&req); err != nil {
-			return // disconnect or garbage: drop the connection
-		}
-		resp := s.process(&req)
-		if err := enc.Encode(resp); err != nil {
-			return
-		}
-	}
-}
-
-func (s *Server) process(req *Request) *Response {
-	switch req.Kind {
-	case "headers":
-		all := s.node.Store.Headers()
-		if req.FromHeight < 0 || req.FromHeight > len(all) {
-			return &Response{Err: fmt.Sprintf("bad FromHeight %d", req.FromHeight)}
-		}
-		return &Response{Headers: all[req.FromHeight:]}
-	case "query":
-		vo, err := s.node.SP(req.Batched).TimeWindowQuery(req.Query)
-		if err != nil {
-			return &Response{Err: err.Error()}
-		}
-		return &Response{VO: vo}
-	case "stats":
-		st := s.node.ProofEngine().Stats()
-		return &Response{Stats: &st}
-	default:
-		return &Response{Err: fmt.Sprintf("unknown request kind %q", req.Kind)}
-	}
-}
-
-// Close stops the listener and open connections.
-func (s *Server) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.closed = true
-	var err error
-	if s.listener != nil {
-		err = s.listener.Close()
-	}
-	for c := range s.conns {
-		c.Close()
-	}
-	return err
-}
-
-// Client is a light node's connection to a remote SP.
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
-}
-
-// Dial connects to an SP.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("service: dial: %w", err)
-	}
-	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
-}
-
-// roundTrip sends one request and reads one response.
-func (c *Client) roundTrip(req *Request) (*Response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("service: send: %w", err)
-	}
-	var resp Response
-	if err := c.dec.Decode(&resp); err != nil {
-		return nil, fmt.Errorf("service: receive: %w", err)
-	}
-	if resp.Err != "" {
-		return nil, errors.New("service: SP error: " + resp.Err)
-	}
-	return &resp, nil
-}
-
-// Headers fetches headers from a height onward.
-func (c *Client) Headers(from int) ([]chain.Header, error) {
-	resp, err := c.roundTrip(&Request{Kind: "headers", FromHeight: from})
-	if err != nil {
-		return nil, err
-	}
-	return resp.Headers, nil
-}
-
-// Query runs a remote time-window query and returns the (unverified)
-// VO; the caller must verify it with a core.Verifier.
-func (c *Client) Query(q core.Query, batched bool) (*core.VO, error) {
-	resp, err := c.roundTrip(&Request{Kind: "query", Query: q, Batched: batched})
-	if err != nil {
-		return nil, err
-	}
-	if resp.VO == nil {
-		return nil, errors.New("service: SP returned no VO")
-	}
-	return resp.VO, nil
-}
-
-// QueryVerified runs a remote time-window query and verifies the VO
-// locally with the supplied verifier before returning the results —
-// the one-call path a light client actually wants. The returned
-// objects carry the full soundness/completeness guarantee; any SP
-// misbehavior surfaces as the verifier's error. The verifier defaults
-// to the batched engine; set ver.Sequential for the baseline.
-func (c *Client) QueryVerified(q core.Query, batched bool, ver *core.Verifier) ([]chain.Object, error) {
-	vo, err := c.Query(q, batched)
-	if err != nil {
-		return nil, err
-	}
-	return ver.VerifyTimeWindow(q, vo)
-}
-
-// Stats fetches the SP's proof-engine counters (proofs computed,
-// cache hits/misses, aggregation groups).
-func (c *Client) Stats() (proofs.Stats, error) {
-	resp, err := c.roundTrip(&Request{Kind: "stats"})
-	if err != nil {
-		return proofs.Stats{}, err
-	}
-	if resp.Stats == nil {
-		return proofs.Stats{}, errors.New("service: SP returned no stats")
-	}
-	return *resp.Stats, nil
-}
-
-// Close disconnects.
-func (c *Client) Close() error { return c.conn.Close() }

@@ -10,7 +10,9 @@ import (
 	"github.com/vchain-go/vchain/internal/pairingtest"
 )
 
-func startServer(t *testing.T) (*Server, string, accumulator.Accumulator) {
+// buildCarNode mines the 3-block car chain shared by the request
+// tests.
+func buildCarNode(t *testing.T) (accumulator.Accumulator, *core.FullNode) {
 	t.Helper()
 	acc := accumulator.KeyGenCon2Deterministic(pairingtest.Params(), 512, accumulator.HashEncoder{Q: 512}, []byte("svc"))
 	b := &core.Builder{Acc: acc, Mode: core.ModeIntra, Width: 4}
@@ -24,6 +26,12 @@ func startServer(t *testing.T) (*Server, string, accumulator.Accumulator) {
 			t.Fatal(err)
 		}
 	}
+	return acc, node
+}
+
+func startServer(t *testing.T) (*Server, string, accumulator.Accumulator) {
+	t.Helper()
+	acc, node := buildCarNode(t)
 	srv := NewServer(node)
 	addr, err := srv.Serve("127.0.0.1:0")
 	if err != nil {
@@ -111,6 +119,32 @@ func TestIncrementalHeaderSync(t *testing.T) {
 	}
 	if _, err := cli.Headers(-1); err == nil {
 		t.Error("negative FromHeight accepted")
+	}
+}
+
+// TestSyncHeadersPagination: header sync loops over the server's
+// bounded batches, so a chain of any length syncs without ever
+// approaching the frame cap.
+func TestSyncHeadersPagination(t *testing.T) {
+	old := maxHeaderBatch
+	maxHeaderBatch = 2
+	defer func() { maxHeaderBatch = old }()
+	_, addr, _ := startServer(t) // 3 blocks > one 2-header batch
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	light := chain.NewLightStore(0)
+	if err := cli.SyncHeaders(light); err != nil {
+		t.Fatal(err)
+	}
+	if light.Height() != 3 {
+		t.Fatalf("synced %d headers, want 3", light.Height())
+	}
+	// Already caught up: another sync is a no-op.
+	if err := cli.SyncHeaders(light); err != nil {
+		t.Fatal(err)
 	}
 }
 

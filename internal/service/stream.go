@@ -1,0 +1,331 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/vchain-go/vchain/internal/accumulator"
+	"github.com/vchain-go/vchain/internal/chain"
+	"github.com/vchain-go/vchain/internal/core"
+	"github.com/vchain-go/vchain/internal/subscribe"
+)
+
+// Delivery is one item of a subscription stream: a pushed publication
+// together with the outcome of its local verification. Err == nil
+// certifies Objects is exactly the span's correct result set; a
+// non-nil Err wraps core.ErrSoundness / core.ErrCompleteness (or a
+// transport failure) and Objects is nil — a tampered publication is
+// never delivered as results.
+type Delivery struct {
+	// Pub is the publication as pushed by the SP (untrusted).
+	Pub *subscribe.Publication
+	// Objects is the locally verified result set (nil when Err != nil).
+	Objects []chain.Object
+	// Err reports why the publication (or the stream) was rejected.
+	Err error
+}
+
+// SubscribeConfig equips a subscription stream with the client's local
+// verification state. Acc and Light are required: every pushed
+// publication is verified against them before delivery.
+type SubscribeConfig struct {
+	// Acc is the deployment's accumulator (public part).
+	Acc accumulator.Accumulator
+	// Light is the client's header store. Headers covering a pushed
+	// span are fetched and PoW-validated automatically before the
+	// span's VO is verified.
+	Light *chain.LightStore
+	// VerifyWorkers bounds the batched verification flush (0 = all
+	// cores).
+	VerifyWorkers int
+}
+
+// Subscription is a client-side stream of locally verified
+// publications. Read C until it closes; call Close to unsubscribe
+// (the SP's final pending lazy span, if any, still arrives on C).
+// After C closes, Err reports whether the stream ended because the
+// connection failed. The stream goroutine runs until C is drained or
+// the connection closes — a consumer that abandons C without closing
+// the client keeps the goroutine parked.
+type Subscription struct {
+	// ID is the SP-assigned subscription id.
+	ID int
+	// C delivers verified publications in push order.
+	C <-chan Delivery
+
+	c   *Client
+	q   core.Query
+	cfg SubscribeConfig
+	out chan Delivery
+
+	mu      sync.Mutex
+	queue   []*subscribe.Publication
+	closed  bool  // no further enqueues; drain then close C
+	failErr error // terminal transport error
+	signal  chan struct{}
+
+	lastTo int // newest verified height; continuity anchor
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Subscribe registers a continuous query with the SP and returns its
+// verified delivery stream. The query's window fields are ignored.
+func (c *Client) Subscribe(q core.Query, cfg SubscribeConfig) (*Subscription, error) {
+	if cfg.Acc == nil || cfg.Light == nil {
+		return nil, errors.New("service: SubscribeConfig needs Acc and Light")
+	}
+	if _, err := q.CNF(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.subscribing++
+	c.mu.Unlock()
+	resp, err := c.roundTrip(&Request{Kind: "subscribe", Query: q})
+
+	c.mu.Lock()
+	c.subscribing--
+	// The connection may have died right after delivering the ack:
+	// fail() has already swept c.subs and will not run again, so
+	// registering now would create a stream nothing ever ends.
+	if err == nil && c.err != nil {
+		err = c.err
+	}
+	var sub *Subscription
+	if err == nil {
+		sub = &Subscription{
+			c: c, q: q, cfg: cfg,
+			ID:     resp.SubID,
+			out:    make(chan Delivery, c.cfg.SubBuffer),
+			signal: make(chan struct{}, 1),
+			lastTo: -1,
+		}
+		sub.C = sub.out
+		c.subs[sub.ID] = sub
+		// Publications that raced ahead of this registration were
+		// parked by the read loop; adopt ours in arrival order.
+		rest := c.orphans[:0]
+		for _, pub := range c.orphans {
+			if pub.QueryID == sub.ID {
+				sub.queue = append(sub.queue, pub)
+			} else {
+				rest = append(rest, pub)
+			}
+		}
+		c.orphans = rest
+	}
+	if c.subscribing == 0 {
+		c.dropped += len(c.orphans)
+		c.orphans = nil
+	}
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	go sub.run()
+	return sub, nil
+}
+
+// Close unsubscribes at the SP and ends the stream. The SP flushes the
+// subscription's final pending span (lazy mode) into the stream before
+// C closes.
+func (s *Subscription) Close() error {
+	s.closeOnce.Do(func() {
+		resp, err := s.c.roundTrip(&Request{Kind: "unsubscribe", SubID: s.ID})
+		s.c.mu.Lock()
+		if s.c.subs[s.ID] == s {
+			delete(s.c.subs, s.ID)
+		}
+		s.c.mu.Unlock()
+		if err != nil {
+			s.closeErr = err
+		} else if resp.Pub != nil {
+			s.enqueue(resp.Pub)
+		}
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		s.wake()
+	})
+	return s.closeErr
+}
+
+// enqueue parks one pushed publication for the stream goroutine. The
+// connection's read loop must never block on a stream consumer (the
+// consumer's own header-sync requests ride the same read loop), so
+// the queue absorbs bursts — but only up to SubQueue: an untrusted SP
+// pushing faster than the client verifies for that long is flooding,
+// and the stream ends with an overrun error rather than buffering
+// unboundedly.
+func (s *Subscription) enqueue(pub *subscribe.Publication) {
+	s.mu.Lock()
+	switch {
+	case s.closed || s.failErr != nil:
+		// Stream already ending; drop.
+	case len(s.queue) >= s.c.cfg.SubQueue:
+		s.failErr = fmt.Errorf("service: subscription %d overrun: SP pushed more than %d unverified publications",
+			s.ID, s.c.cfg.SubQueue)
+		s.queue = nil
+	default:
+		s.queue = append(s.queue, pub)
+	}
+	s.mu.Unlock()
+	s.wake()
+}
+
+// abandonRemote best-effort deregisters a failed stream at the SP and
+// drops it from the client's routing table. It shares Close's once so
+// a later user Close is a no-op; the final-flush publication (if any)
+// is discarded — the stream has already failed.
+func (s *Subscription) abandonRemote() {
+	s.closeOnce.Do(func() {
+		s.c.mu.Lock()
+		dead := s.c.err != nil
+		if s.c.subs[s.ID] == s {
+			delete(s.c.subs, s.ID)
+		}
+		s.c.mu.Unlock()
+		if !dead {
+			_, _ = s.c.roundTrip(&Request{Kind: "unsubscribe", SubID: s.ID})
+		}
+	})
+}
+
+// connFailed ends the stream with a transport error.
+func (s *Subscription) connFailed(err error) {
+	s.mu.Lock()
+	if s.failErr == nil {
+		s.failErr = err
+	}
+	s.mu.Unlock()
+	s.wake()
+}
+
+func (s *Subscription) wake() {
+	select {
+	case s.signal <- struct{}{}:
+	default:
+	}
+}
+
+// run is the stream goroutine: it drains the queue, verifies each
+// publication, and delivers the outcome in order.
+func (s *Subscription) run() {
+	for {
+		s.mu.Lock()
+		var pub *subscribe.Publication
+		if s.failErr == nil && len(s.queue) > 0 {
+			pub = s.queue[0]
+			s.queue = s.queue[1:]
+		}
+		failErr, closed := s.failErr, s.closed
+		s.mu.Unlock()
+
+		if pub == nil {
+			switch {
+			case failErr != nil:
+				// A user-initiated Close is a clean end, not an error
+				// worth a delivery. Other terminal errors are surfaced
+				// on the stream if the consumer is keeping up, and are
+				// always available via Err after C closes.
+				if !errors.Is(failErr, ErrClosed) {
+					select {
+					case s.out <- Delivery{Err: failErr}:
+					default:
+					}
+				}
+				// If the connection itself is still alive (e.g. a
+				// queue overrun ended only this stream), tell the SP:
+				// otherwise it keeps computing proofs and pushing
+				// publications for a stream nothing reads.
+				s.abandonRemote()
+				close(s.out)
+				return
+			case closed:
+				close(s.out)
+				return
+			default:
+				<-s.signal
+				continue
+			}
+		}
+		// The send aborts when the connection ends so a consumer that
+		// stopped reading cannot park this goroutine forever (the
+		// queued deliveries are moot once the connection is gone).
+		select {
+		case s.out <- s.verify(pub):
+		case <-s.c.done:
+			// Record the terminal error before closing so Err is
+			// already set when the consumer sees the closed channel.
+			s.c.mu.Lock()
+			err := s.c.err
+			s.c.mu.Unlock()
+			s.mu.Lock()
+			if s.failErr == nil {
+				s.failErr = err
+			}
+			s.mu.Unlock()
+			close(s.out)
+			return
+		}
+	}
+}
+
+// Err returns the terminal transport error that ended the stream, or
+// nil after a clean end (Close, or a clean client shutdown). Read it
+// after C closes to distinguish "the SP went away mid-stream" from a
+// deliberate unsubscribe.
+func (s *Subscription) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failErr != nil && !errors.Is(s.failErr, ErrClosed) {
+		return s.failErr
+	}
+	return nil
+}
+
+// verify checks one pushed publication: header auto-sync for the
+// covered span, stream continuity, then the span VO itself.
+//
+// The continuity anchor advances only on a successfully verified
+// span, and re-arms (accept any From, like the stream's first
+// publication) after a failed one. Advancing on claims would let one
+// tampered frame with an inflated To poison every later honest
+// publication; holding the anchor after a failure would turn one
+// transient header-sync error into a cascade of false gap
+// accusations. Either way the failed delivery itself has already told
+// the consumer the stream's completeness guarantee was interrupted at
+// that point.
+func (s *Subscription) verify(pub *subscribe.Publication) Delivery {
+	d := Delivery{Pub: pub}
+	defer func() {
+		if d.Err != nil {
+			s.lastTo = -1
+		} else {
+			s.lastTo = pub.To
+		}
+	}()
+	// Header auto-sync: fetch (and PoW-validate) everything up to the
+	// span's newest block. The SP supplies the headers but cannot
+	// forge them — SyncHeaders re-checks linkage and proof-of-work.
+	if s.cfg.Light.Height() <= pub.To {
+		if err := s.c.SyncHeaders(s.cfg.Light); err != nil {
+			d.Err = fmt.Errorf("service: header sync for publication [%d,%d]: %w",
+				pub.From, pub.To, err)
+			return d
+		}
+	}
+	// Continuity: consecutive publications must tile the chain. A span
+	// that skips blocks is an SP silently withholding results — a
+	// completeness violation even when the span itself verifies.
+	if s.lastTo >= 0 && pub.From != s.lastTo+1 {
+		d.Err = fmt.Errorf("%w: publication span [%d,%d] does not continue at block %d",
+			core.ErrCompleteness, pub.From, pub.To, s.lastTo+1)
+		return d
+	}
+	ver := &core.Verifier{Acc: s.cfg.Acc, Light: s.cfg.Light, Workers: s.cfg.VerifyWorkers}
+	d.Objects, d.Err = subscribe.VerifyPublication(ver, s.q, pub)
+	return d
+}

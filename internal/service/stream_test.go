@@ -1,0 +1,492 @@
+package service
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/vchain-go/vchain/internal/accumulator"
+	"github.com/vchain-go/vchain/internal/chain"
+	"github.com/vchain-go/vchain/internal/core"
+	"github.com/vchain-go/vchain/internal/pairingtest"
+	"github.com/vchain-go/vchain/internal/subscribe"
+)
+
+// streamEnv is a served full node the test mines into incrementally,
+// with ProcessBlock fan-out after every block — the real miner loop.
+type streamEnv struct {
+	srv    *Server
+	addr   string
+	acc    accumulator.Accumulator
+	node   *core.FullNode
+	height int
+}
+
+func newStreamEnv(t *testing.T, cfg ServerConfig) *streamEnv {
+	t.Helper()
+	acc := accumulator.KeyGenCon2Deterministic(pairingtest.Params(), 512, accumulator.HashEncoder{Q: 512}, []byte("stream"))
+	b := &core.Builder{Acc: acc, Mode: core.ModeBoth, SkipSize: 2, Width: 4}
+	node := core.NewFullNode(0, b)
+	srv := NewServer(node, cfg)
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return &streamEnv{srv: srv, addr: addr, acc: acc, node: node}
+}
+
+// mine appends one block of objects and fans out due publications.
+func (e *streamEnv) mine(t *testing.T, objs []chain.Object) {
+	t.Helper()
+	if _, err := e.node.MineBlock(objs, int64(e.height)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.srv.ProcessBlock(e.height); err != nil {
+		t.Fatal(err)
+	}
+	e.height++
+}
+
+// block builds a one-object block carrying the given keywords.
+func block(id int, kws ...string) []chain.Object {
+	return []chain.Object{{ID: chain.ObjectID(id), TS: int64(id), V: []int64{4}, W: kws}}
+}
+
+func (e *streamEnv) dialSub(t *testing.T, q core.Query) (*Client, *Subscription, *chain.LightStore) {
+	t.Helper()
+	cli, err := Dial(e.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	light := chain.NewLightStore(0)
+	sub, err := cli.Subscribe(q, SubscribeConfig{Acc: e.acc, Light: light})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cli, sub, light
+}
+
+func recv(t *testing.T, sub *Subscription) Delivery {
+	t.Helper()
+	select {
+	case d, ok := <-sub.C:
+		if !ok {
+			t.Fatal("stream closed unexpectedly")
+		}
+		return d
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for a delivery")
+		panic("unreachable")
+	}
+}
+
+func sedanQuery() core.Query {
+	return core.Query{Bool: core.CNF{core.KeywordClause("sedan")}, Width: 4}
+}
+
+// TestStreamEager: a TCP light client registers a subscription and
+// receives one verified publication per mined block, matches and
+// mismatches alike — the acceptance scenario's eager half.
+func TestStreamEager(t *testing.T) {
+	env := newStreamEnv(t, ServerConfig{})
+	_, sub, _ := env.dialSub(t, sedanQuery())
+
+	env.mine(t, block(1, "sedan", "benz")) // result
+	env.mine(t, block(2, "van", "audi"))   // mismatch
+	env.mine(t, block(3, "sedan"))         // result
+
+	wantObjs := []int{1, 0, 1}
+	for i, want := range wantObjs {
+		d := recv(t, sub)
+		if d.Err != nil {
+			t.Fatalf("pub %d: verification failed: %v", i, d.Err)
+		}
+		if len(d.Objects) != want {
+			t.Fatalf("pub %d: %d objects, want %d", i, len(d.Objects), want)
+		}
+		if d.Pub.From != i || d.Pub.To != i {
+			t.Fatalf("pub %d covers [%d,%d]", i, d.Pub.From, d.Pub.To)
+		}
+	}
+	if err := sub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-sub.C; ok {
+		t.Fatal("stream not closed after Close")
+	}
+	if got := env.srv.Subscriptions(); len(got) != 0 {
+		t.Fatalf("server still has subscriptions %v", got)
+	}
+}
+
+// TestStreamLazy: in lazy mode mismatch blocks accumulate into spans;
+// a result block (or unsubscribe) flushes them. The client verifies
+// every span against its own headers.
+func TestStreamLazy(t *testing.T) {
+	env := newStreamEnv(t, ServerConfig{
+		Subscriptions: subscribe.Options{Lazy: true},
+	})
+	_, sub, _ := env.dialSub(t, sedanQuery())
+
+	env.mine(t, block(1, "van"))   // pending
+	env.mine(t, block(2, "truck")) // pending
+	env.mine(t, block(3, "sedan")) // flush [0,2]
+	d := recv(t, sub)
+	if d.Err != nil {
+		t.Fatalf("lazy span rejected: %v", d.Err)
+	}
+	if d.Pub.From != 0 || d.Pub.To != 2 {
+		t.Fatalf("lazy span [%d,%d], want [0,2]", d.Pub.From, d.Pub.To)
+	}
+	if len(d.Objects) != 1 {
+		t.Fatalf("lazy span results %d, want 1", len(d.Objects))
+	}
+
+	env.mine(t, block(4, "van")) // pending again
+	env.mine(t, block(5, "van")) // pending
+	// Close flushes the final pending span through the ack.
+	if err := sub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d = recv(t, sub)
+	if d.Err != nil {
+		t.Fatalf("final flush rejected: %v", d.Err)
+	}
+	if d.Pub.From != 3 || d.Pub.To != 4 {
+		t.Fatalf("final span [%d,%d], want [3,4]", d.Pub.From, d.Pub.To)
+	}
+	if _, ok := <-sub.C; ok {
+		t.Fatal("stream not closed after final flush")
+	}
+}
+
+// TestStreamMultipleSubscribers: two clients with different queries
+// each get exactly their own publications.
+func TestStreamMultipleSubscribers(t *testing.T) {
+	env := newStreamEnv(t, ServerConfig{})
+	_, subA, _ := env.dialSub(t, sedanQuery())
+	_, subB, _ := env.dialSub(t, core.Query{Bool: core.CNF{core.KeywordClause("van")}, Width: 4})
+
+	env.mine(t, block(1, "sedan"))
+	env.mine(t, block(2, "van"))
+
+	for i := 0; i < 2; i++ {
+		a, b := recv(t, subA), recv(t, subB)
+		if a.Err != nil || b.Err != nil {
+			t.Fatalf("block %d: a=%v b=%v", i, a.Err, b.Err)
+		}
+		if a.Pub.QueryID == b.Pub.QueryID {
+			t.Fatal("publications share a QueryID across subscribers")
+		}
+	}
+}
+
+// TestStreamAdversarial is the end-to-end tampering suite: the SP
+// mutates pushed publications and the client stream must reject every
+// one of them with a typed verification error — tampered results are
+// never delivered.
+func TestStreamAdversarial(t *testing.T) {
+	t.Run("flipped-object-keywords", func(t *testing.T) {
+		// The SP swaps the matching object's keywords: the object no
+		// longer satisfies the query → soundness violation.
+		env := newStreamEnv(t, ServerConfig{})
+		env.srv.tamperPub = func(p *subscribe.Publication) *subscribe.Publication {
+			flipFirstResult(p.VO, func(o *chain.Object) { o.W = []string{"van"} })
+			return p
+		}
+		_, sub, _ := env.dialSub(t, sedanQuery())
+		env.mine(t, block(1, "sedan"))
+		d := recv(t, sub)
+		if !errors.Is(d.Err, core.ErrSoundness) {
+			t.Fatalf("want ErrSoundness, got %v", d.Err)
+		}
+		if d.Objects != nil {
+			t.Fatal("tampered publication delivered objects")
+		}
+	})
+
+	t.Run("flipped-object-id", func(t *testing.T) {
+		// The SP rewrites the object's identity: the Merkle root no
+		// longer reconstructs → completeness violation.
+		env := newStreamEnv(t, ServerConfig{})
+		env.srv.tamperPub = func(p *subscribe.Publication) *subscribe.Publication {
+			flipFirstResult(p.VO, func(o *chain.Object) { o.ID += 1000 })
+			return p
+		}
+		_, sub, _ := env.dialSub(t, sedanQuery())
+		env.mine(t, block(1, "sedan"))
+		d := recv(t, sub)
+		if !errors.Is(d.Err, core.ErrCompleteness) {
+			t.Fatalf("want ErrCompleteness, got %v", d.Err)
+		}
+		if d.Objects != nil {
+			t.Fatal("tampered publication delivered objects")
+		}
+	})
+
+	t.Run("truncated-span", func(t *testing.T) {
+		// The SP claims a span ending before it starts.
+		env := newStreamEnv(t, ServerConfig{})
+		env.srv.tamperPub = func(p *subscribe.Publication) *subscribe.Publication {
+			p.To = p.From - 1
+			return p
+		}
+		_, sub, _ := env.dialSub(t, sedanQuery())
+		env.mine(t, block(1, "sedan"))
+		d := recv(t, sub)
+		if !errors.Is(d.Err, core.ErrCompleteness) {
+			t.Fatalf("want ErrCompleteness, got %v", d.Err)
+		}
+		if d.Objects != nil {
+			t.Fatal("tampered publication delivered objects")
+		}
+	})
+
+	t.Run("withheld-publication-gap", func(t *testing.T) {
+		// The SP silently drops a block's publication: each remaining
+		// publication verifies on its own, but the stream's continuity
+		// check catches the hole.
+		env := newStreamEnv(t, ServerConfig{})
+		drop := false
+		env.srv.tamperPub = func(p *subscribe.Publication) *subscribe.Publication {
+			if drop {
+				drop = false
+				return nil
+			}
+			return p
+		}
+		_, sub, _ := env.dialSub(t, sedanQuery())
+		env.mine(t, block(1, "sedan"))
+		d := recv(t, sub)
+		if d.Err != nil {
+			t.Fatalf("honest pub rejected: %v", d.Err)
+		}
+		drop = true
+		env.mine(t, block(2, "sedan")) // dropped by the SP
+		env.mine(t, block(3, "sedan"))
+		d = recv(t, sub)
+		if !errors.Is(d.Err, core.ErrCompleteness) {
+			t.Fatalf("gap not detected: %v", d.Err)
+		}
+	})
+
+	t.Run("stale-query-id", func(t *testing.T) {
+		// The SP redirects one subscriber's publication to another
+		// subscription: the VO proves the wrong query's traversal and
+		// must fail that subscriber's verification.
+		env := newStreamEnv(t, ServerConfig{})
+		_, subSedan, _ := env.dialSub(t, sedanQuery())
+		cliVan, subVan, _ := env.dialSub(t, core.Query{Bool: core.CNF{core.KeywordClause("van")}, Width: 4})
+		env.srv.tamperPub = func(p *subscribe.Publication) *subscribe.Publication {
+			if p.QueryID == subSedan.ID {
+				p.QueryID = subVan.ID
+			}
+			return p
+		}
+		env.mine(t, block(1, "sedan", "benz"))
+		// subVan receives two frames for its id: its own honest
+		// mismatch pub and the redirected sedan pub; order is engine
+		// id order. The redirected one must be rejected.
+		var redirected *Delivery
+		for i := 0; i < 2; i++ {
+			d := recv(t, subVan)
+			if d.Err != nil {
+				redirected = &d
+			}
+		}
+		if redirected == nil {
+			t.Fatal("redirected publication was accepted by the wrong subscriber")
+		}
+		if !errors.Is(redirected.Err, core.ErrSoundness) && !errors.Is(redirected.Err, core.ErrCompleteness) {
+			t.Fatalf("redirected pub: want a verification error, got %v", redirected.Err)
+		}
+		_ = cliVan
+	})
+}
+
+// flipFirstResult applies f to the first result object found in the VO.
+func flipFirstResult(vo *core.VO, f func(*chain.Object)) {
+	var walk func(n *core.NodeVO) bool
+	walk = func(n *core.NodeVO) bool {
+		if n == nil {
+			return false
+		}
+		if n.Kind == core.KindResult && n.Obj != nil {
+			f(n.Obj)
+			return true
+		}
+		return walk(n.Left) || walk(n.Right)
+	}
+	for i := range vo.Blocks {
+		if walk(vo.Blocks[i].Tree) {
+			return
+		}
+	}
+}
+
+// TestSlowConsumerEviction: a subscriber whose outbound queue is full
+// at fan-out time is evicted and its subscriptions deregistered — the
+// mining path never blocks on it.
+func TestSlowConsumerEviction(t *testing.T) {
+	env := newStreamEnv(t, ServerConfig{SendQueue: 1})
+	// Hand-build a connection whose writer never drains, so the queue
+	// genuinely fills (over a real socket the kernel buffer would hide
+	// the stall for a long time).
+	sc := &serverConn{
+		srv:  env.srv,
+		out:  make(chan *Response, 1),
+		done: make(chan struct{}),
+		subs: map[int]struct{}{},
+		fc:   newFrameConn(nopConn{}, 0, 0),
+	}
+	id, err := env.srv.engine.Register(sedanQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.srv.mu.Lock()
+	env.srv.conns[sc] = struct{}{}
+	env.srv.subOwner[id] = sc
+	sc.subs[id] = struct{}{}
+	env.srv.mu.Unlock()
+
+	env.mine(t, block(1, "sedan")) // queued
+	env.mine(t, block(2, "sedan")) // queue full → evicted
+	if got := env.srv.Evictions(); got != 1 {
+		t.Fatalf("evictions %d, want 1", got)
+	}
+	if subs := env.srv.Subscriptions(); len(subs) != 0 {
+		t.Fatalf("evicted connection's subscriptions remain: %v", subs)
+	}
+	// Mining continues unaffected.
+	env.mine(t, block(3, "sedan"))
+}
+
+// TestStreamConnectionFailure: when the SP goes away mid-stream the
+// channel closes and the failure is reported via Err — a dead SP is
+// distinguishable from a clean unsubscribe.
+func TestStreamConnectionFailure(t *testing.T) {
+	env := newStreamEnv(t, ServerConfig{})
+	_, sub, _ := env.dialSub(t, sedanQuery())
+	env.mine(t, block(1, "sedan"))
+	if d := recv(t, sub); d.Err != nil {
+		t.Fatalf("honest pub rejected: %v", d.Err)
+	}
+	env.srv.Close() // SP dies
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case _, ok := <-sub.C:
+			if !ok {
+				if sub.Err() == nil {
+					t.Fatal("stream ended by server death but Err() is nil")
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("stream did not end after server close")
+		}
+	}
+}
+
+// TestSubscriptionQueueOverrun: the pending-publication queue is
+// bounded; an SP flooding past it ends the stream with an overrun
+// error instead of buffering without limit.
+func TestSubscriptionQueueOverrun(t *testing.T) {
+	s := &Subscription{
+		ID:     1,
+		c:      &Client{cfg: ClientConfig{SubQueue: 2}.withDefaults()},
+		signal: make(chan struct{}, 1),
+		lastTo: -1,
+	}
+	for i := 0; i < 3; i++ {
+		s.enqueue(&subscribe.Publication{QueryID: 1, From: i, To: i})
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failErr == nil {
+		t.Fatal("queue overrun not detected")
+	}
+	if s.queue != nil {
+		t.Fatal("overrun should drop the queue")
+	}
+}
+
+// TestStreamOverrunUnsubscribes: a stream ended by a client-side queue
+// overrun deregisters itself at the SP, so the engine stops computing
+// proofs for it.
+func TestStreamOverrunUnsubscribes(t *testing.T) {
+	env := newStreamEnv(t, ServerConfig{})
+	cli, err := Dial(env.addr, ClientConfig{SubQueue: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	light := chain.NewLightStore(0)
+	sub, err := cli.Subscribe(sedanQuery(), SubscribeConfig{Acc: env.acc, Light: light})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flood the queue directly (the real path needs a stalled verifier;
+	// the overrun logic is the same).
+	for i := 0; i < 3; i++ {
+		sub.enqueue(&subscribe.Publication{QueryID: sub.ID, From: i, To: i})
+	}
+	// The stream must end with the overrun error and the server must
+	// lose the subscription.
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case _, ok := <-sub.C:
+			if ok {
+				continue
+			}
+			if sub.Err() == nil {
+				t.Fatal("overrun stream ended without error")
+			}
+			// Unsubscribe is sent before C closes; the server handles
+			// it on its reader goroutine.
+			for i := 0; i < 100; i++ {
+				if len(env.srv.Subscriptions()) == 0 {
+					return
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			t.Fatalf("server still has subscriptions %v after overrun", env.srv.Subscriptions())
+		case <-deadline:
+			t.Fatal("stream did not end after overrun")
+		}
+	}
+}
+
+// TestOutboundFrameCap: an oversized outbound message fails before any
+// byte is written — the connection stays usable and the server turns
+// an oversized RPC reply into an error response.
+func TestOutboundFrameCap(t *testing.T) {
+	// Gob ships ~1.1KB of type descriptors with every Response frame
+	// (each frame is a fresh stream), so the cap must clear that.
+	fc := newFrameConn(nopConn{}, 2048, time.Second)
+	big := &Response{Err: string(make([]byte, 4096))}
+	err := fc.writeFrame(big)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+	if err := fc.writeFrame(&Response{Seq: 1}); err != nil {
+		t.Fatalf("connection unusable after pre-write rejection: %v", err)
+	}
+}
+
+// nopConn is a no-op net.Conn for hand-built server connections.
+type nopConn struct{}
+
+func (nopConn) Read([]byte) (int, error)         { return 0, io.EOF }
+func (nopConn) Write(b []byte) (int, error)      { return len(b), nil }
+func (nopConn) Close() error                     { return nil }
+func (nopConn) LocalAddr() net.Addr              { return &net.TCPAddr{} }
+func (nopConn) RemoteAddr() net.Addr             { return &net.TCPAddr{} }
+func (nopConn) SetDeadline(time.Time) error      { return nil }
+func (nopConn) SetReadDeadline(time.Time) error  { return nil }
+func (nopConn) SetWriteDeadline(time.Time) error { return nil }

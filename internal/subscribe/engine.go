@@ -39,15 +39,27 @@ type Options struct {
 	Workers int
 }
 
+// Effective values of the zero-valued Options fields. Exported so
+// callers that compare options (e.g. the facade's conflict check) use
+// the same defaults as the engine itself.
+const (
+	// DefaultLazyThreshold is the pending-block bound of §7.2.
+	DefaultLazyThreshold = 64
+	// DefaultMaxDepth caps IP-tree splitting.
+	DefaultMaxDepth = 8
+	// DefaultDims is the numeric dimensionality.
+	DefaultDims = 1
+)
+
 func (o Options) withDefaults() Options {
 	if o.LazyThreshold <= 0 {
-		o.LazyThreshold = 64
+		o.LazyThreshold = DefaultLazyThreshold
 	}
 	if o.MaxDepth <= 0 {
-		o.MaxDepth = 8
+		o.MaxDepth = DefaultMaxDepth
 	}
 	if o.Dims <= 0 {
-		o.Dims = 1
+		o.Dims = DefaultDims
 	}
 	if o.Width <= 0 {
 		o.Width = core.DefaultBitWidth
@@ -414,12 +426,10 @@ func (e *Engine) flushLocked(s *subState) *Publication {
 }
 
 // VerifyPublication checks a publication on the client side: the span
-// VO is verified with the time-window machinery over [From, To].
+// VO is verified with the time-window machinery over [From, To] via
+// core's span entry point (which also rejects malformed spans).
 func VerifyPublication(v *core.Verifier, q core.Query, pub *Publication) ([]chain.Object, error) {
-	span := q
-	span.StartBlock = pub.From
-	span.EndBlock = pub.To
-	return v.VerifyTimeWindow(span, pub.VO)
+	return v.VerifySpan(q, pub.From, pub.To, pub.VO)
 }
 
 type coreDigest = chain.Digest

@@ -2,9 +2,11 @@ package vchain
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/vchain-go/vchain/internal/chain"
 	"github.com/vchain-go/vchain/internal/core"
+	"github.com/vchain-go/vchain/internal/service"
 	"github.com/vchain-go/vchain/internal/subscribe"
 )
 
@@ -12,9 +14,15 @@ import (
 // ADS-carrying blocks, answers time-window queries with VOs, and runs
 // the subscription engine.
 type FullNode struct {
-	sys    *System
-	node   *core.FullNode
-	engine *subscribe.Engine
+	sys  *System
+	node *core.FullNode
+
+	// mu guards the lazily created subscription engine, its fixed
+	// options, and the attached service endpoint.
+	mu         sync.Mutex
+	engine     *subscribe.Engine
+	engineOpts SubscribeOptions
+	srv        *service.Server
 }
 
 // NewFullNode creates a full node (miner + SP) for this system.
@@ -41,11 +49,22 @@ func (n *FullNode) Mine(objs []Object, ts int64) (*Block, []Publication, error) 
 	if err != nil {
 		return nil, nil, err
 	}
+	n.mu.Lock()
+	engine, srv := n.engine, n.srv
+	n.mu.Unlock()
 	var pubs []Publication
-	if n.engine != nil {
-		pubs, err = n.engine.ProcessBlock(n.node.ADSAt(int(blk.Header.Height)), n.node)
+	if engine != nil {
+		pubs, err = engine.ProcessBlock(n.node.ADSAt(int(blk.Header.Height)), n.node)
 		if err != nil {
 			return nil, nil, fmt.Errorf("vchain: subscriptions: %w", err)
+		}
+	}
+	if srv != nil {
+		// Remote subscribers ride the service server's own engine;
+		// fan-out to their connections happens here, on the mining
+		// path, with slow consumers evicted rather than awaited.
+		if err := srv.ProcessBlock(int(blk.Header.Height)); err != nil {
+			return nil, nil, fmt.Errorf("vchain: remote subscriptions: %w", err)
 		}
 	}
 	return blk, pubs, nil
@@ -83,43 +102,132 @@ func (n *FullNode) TimeWindowBatched(q Query) (*VO, error) {
 	return n.node.SPWith(true, n.sys.cfg.SPWorkers).TimeWindowQuery(q)
 }
 
-// SubscribeOptions configure the node's subscription engine. Changing
-// options after the first Subscribe call is not supported.
+// SubscribeOptions configure the node's subscription engine. The
+// engine is created on the first Subscribe call; every later call must
+// carry equivalent options (the engine is shared across all of a
+// node's subscriptions, so differing options cannot be honored and are
+// rejected with an error rather than silently ignored).
 type SubscribeOptions struct {
 	// UseIPTree shares clause evaluation and proofs across queries
 	// (§7.1).
 	UseIPTree bool
 	// Lazy defers mismatch proofs until results appear (§7.2).
 	Lazy bool
-	// LazyThreshold caps pending blocks before a forced publication.
+	// LazyThreshold caps pending blocks before a forced publication
+	// (0 means the engine default).
 	LazyThreshold int
-	// Dims is the numeric dimensionality of subscription ranges.
+	// Dims is the numeric dimensionality of subscription ranges
+	// (0 means 1).
 	Dims int
 }
 
-// Subscribe registers a continuous query (its window fields are
-// ignored) and returns its subscription id.
-func (n *FullNode) Subscribe(q Query, opts SubscribeOptions) (int, error) {
-	if n.engine == nil {
-		n.engine = subscribe.NewEngine(n.sys.acc, subscribe.Options{
-			UseIPTree:     opts.UseIPTree,
-			Lazy:          opts.Lazy,
-			LazyThreshold: opts.LazyThreshold,
-			Dims:          opts.Dims,
-			Width:         n.sys.cfg.BitWidth,
-			Proofs:        n.sys.proofs,
-		})
+// normalize maps the defaulted fields onto the engine's effective
+// values so option comparison treats e.g. LazyThreshold 0 and the
+// engine default as equal.
+func (o SubscribeOptions) normalize() SubscribeOptions {
+	if o.LazyThreshold <= 0 {
+		o.LazyThreshold = subscribe.DefaultLazyThreshold
 	}
-	return n.engine.Register(q)
+	if o.Dims <= 0 {
+		o.Dims = subscribe.DefaultDims
+	}
+	return o
+}
+
+// Subscribe registers a continuous query (its window fields are
+// ignored) and returns its subscription id. The first call fixes the
+// engine options; a later call with conflicting options is an error.
+func (n *FullNode) Subscribe(q Query, opts SubscribeOptions) (int, error) {
+	n.mu.Lock()
+	if n.engine == nil {
+		n.engine = subscribe.NewEngine(n.sys.acc, n.engineOptions(opts))
+		n.engineOpts = opts.normalize()
+	} else if got := opts.normalize(); got != n.engineOpts {
+		n.mu.Unlock()
+		return 0, fmt.Errorf("vchain: subscription options %+v conflict with the engine's %+v "+
+			"(options are fixed by the first Subscribe call)", got, n.engineOpts)
+	}
+	engine := n.engine
+	n.mu.Unlock()
+	return engine.Register(q)
+}
+
+// engineOptions maps facade subscription options onto the internal
+// engine's, wiring in the deployment's bit width and shared proof
+// engine (used by both local Subscribe and Serve so the two paths
+// cannot drift).
+func (n *FullNode) engineOptions(opts SubscribeOptions) subscribe.Options {
+	return subscribe.Options{
+		UseIPTree:     opts.UseIPTree,
+		Lazy:          opts.Lazy,
+		LazyThreshold: opts.LazyThreshold,
+		Dims:          opts.Dims,
+		Width:         n.sys.cfg.BitWidth,
+		Proofs:        n.sys.proofs,
+	}
 }
 
 // Unsubscribe deregisters a query, returning any final pending
 // publication.
 func (n *FullNode) Unsubscribe(id int) *Publication {
-	if n.engine == nil {
+	n.mu.Lock()
+	engine := n.engine
+	n.mu.Unlock()
+	if engine == nil {
 		return nil
 	}
-	return n.engine.Deregister(id)
+	return engine.Deregister(id)
+}
+
+// RemoteSP is a running TCP service endpoint for one full node:
+// header sync, verifiable queries, and streaming subscriptions for
+// remote light clients.
+type RemoteSP struct {
+	node *FullNode
+	srv  *service.Server
+	addr string
+}
+
+// Addr returns the bound listen address.
+func (r *RemoteSP) Addr() string { return r.addr }
+
+// Evictions reports connections dropped for slow consumption.
+func (r *RemoteSP) Evictions() int { return r.srv.Evictions() }
+
+// Close stops serving and disconnects every client. The node detaches
+// from the endpoint: mining stops fanning out to it and Serve may be
+// called again.
+func (r *RemoteSP) Close() error {
+	r.node.mu.Lock()
+	if r.node.srv == r.srv {
+		r.node.srv = nil
+	}
+	r.node.mu.Unlock()
+	return r.srv.Close()
+}
+
+// Serve exposes this node over TCP at addr ("127.0.0.1:0" picks a
+// port): remote light clients can sync headers, run verifiable
+// time-window queries, and register streaming subscriptions. The
+// subscription options configure the server's engine (shared by all
+// remote subscribers and backed by the deployment's proof engine);
+// publications fan out on the mining path as blocks are appended.
+// A node serves at most one endpoint at a time.
+func (n *FullNode) Serve(addr string, opts SubscribeOptions) (*RemoteSP, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.srv != nil {
+		return nil, fmt.Errorf("vchain: node already serving")
+	}
+	srv := service.NewServer(n.node, service.ServerConfig{
+		Subscriptions: n.engineOptions(opts),
+	})
+	bound, err := srv.Serve(addr)
+	if err != nil {
+		return nil, err
+	}
+	n.srv = srv
+	return &RemoteSP{node: n, srv: srv, addr: bound}, nil
 }
 
 // Internal accessors used by the service layer and benchmarks.

@@ -36,6 +36,7 @@ import (
 	"github.com/vchain-go/vchain/internal/core"
 	"github.com/vchain-go/vchain/internal/crypto/pairing"
 	"github.com/vchain-go/vchain/internal/proofs"
+	"github.com/vchain-go/vchain/internal/service"
 	"github.com/vchain-go/vchain/internal/subscribe"
 )
 
@@ -62,6 +63,12 @@ type (
 	VO = core.VO
 	// Publication is a subscription delivery.
 	Publication = subscribe.Publication
+	// RemoteStream is a remote subscription's verified delivery
+	// stream (SPClient.Subscribe).
+	RemoteStream = service.Subscription
+	// Delivery is one item of a RemoteStream: the pushed publication
+	// plus its local verification outcome.
+	Delivery = service.Delivery
 	// IndexMode selects the ADS indexes (IndexNone / IndexIntra /
 	// IndexBoth).
 	IndexMode = core.IndexMode

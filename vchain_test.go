@@ -2,7 +2,9 @@ package vchain
 
 import (
 	"errors"
+	"strings"
 	"testing"
+	"time"
 )
 
 func testSystem(t testing.TB, accName string, mode IndexMode) *System {
@@ -270,6 +272,131 @@ func TestConfigIndexDefaulting(t *testing.T) {
 	if got := sys.Config().Index; got != IndexIntra {
 		t.Errorf("explicit IndexIntra got %v", got)
 	}
+}
+
+// TestSubscribeConflictingOptions covers the former silent-ignore bug:
+// the engine is created from the first Subscribe call's options, so a
+// later call with different options (e.g. Lazy vs eager) cannot be
+// honored — it must fail loudly instead of pretending.
+func TestSubscribeConflictingOptions(t *testing.T) {
+	sys := testSystem(t, "acc2", IndexBoth)
+	node := sys.NewFullNode()
+	q := Query{Bool: And(Or("sedan")), Width: 4}
+	if _, err := node.Subscribe(q, SubscribeOptions{UseIPTree: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Same options: fine.
+	if _, err := node.Subscribe(q, SubscribeOptions{UseIPTree: true}); err != nil {
+		t.Fatalf("identical options rejected: %v", err)
+	}
+	// Defaulted fields compare by effective value, not raw zero.
+	if _, err := node.Subscribe(q, SubscribeOptions{UseIPTree: true, Dims: 1}); err != nil {
+		t.Fatalf("equivalent options rejected: %v", err)
+	}
+	// Conflicting Lazy: loud error.
+	if _, err := node.Subscribe(q, SubscribeOptions{UseIPTree: true, Lazy: true}); err == nil {
+		t.Fatal("conflicting Lazy option silently ignored")
+	} else if !strings.Contains(err.Error(), "conflict") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// Conflicting Dims: loud error.
+	if _, err := node.Subscribe(q, SubscribeOptions{UseIPTree: true, Dims: 2}); err == nil {
+		t.Fatal("conflicting Dims option silently ignored")
+	}
+}
+
+// TestFacadeRemoteSubscription: the acceptance scenario over the
+// facade — a light client connected over TCP registers a subscription
+// and receives ≥3 publications across mined blocks, each locally
+// verified before delivery.
+func TestFacadeRemoteSubscription(t *testing.T) {
+	for _, lazy := range []bool{false, true} {
+		name := "eager"
+		if lazy {
+			name = "lazy"
+		}
+		t.Run(name, func(t *testing.T) {
+			sys := testSystem(t, "acc2", IndexBoth)
+			node := sys.NewFullNode()
+			sp, err := node.Serve("127.0.0.1:0", SubscribeOptions{UseIPTree: true, Lazy: lazy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sp.Close()
+
+			client := sys.NewLightClient()
+			conn, err := client.DialSP(sp.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			stream, err := conn.Subscribe(Query{Bool: And(Or("sedan")), Width: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for i := 0; i < 3; i++ {
+				if _, _, err := node.Mine(carBlock(i), int64(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Every carBlock contains one sedan: eager and lazy modes
+			// both publish each block promptly.
+			total := 0
+			for i := 0; i < 3; i++ {
+				select {
+				case d := <-stream.C:
+					if d.Err != nil {
+						t.Fatalf("publication %d rejected: %v", i, d.Err)
+					}
+					total += len(d.Objects)
+				case <-time.After(10 * time.Second):
+					t.Fatalf("timed out waiting for publication %d", i)
+				}
+			}
+			if total != 3 {
+				t.Fatalf("verified results %d, want 3", total)
+			}
+			if err := stream.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// The same connection also answers verified one-shot
+			// queries.
+			res, err := conn.Query(Query{StartBlock: 0, EndBlock: 2, Bool: And(Or("sedan")), Width: 4}, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res) != 3 {
+				t.Fatalf("remote query results %d, want 3", len(res))
+			}
+		})
+	}
+}
+
+// TestFacadeServeLifecycle: closing a RemoteSP detaches it from the
+// node — mining no longer fans out to it and Serve works again.
+func TestFacadeServeLifecycle(t *testing.T) {
+	sys := testSystem(t, "acc2", IndexBoth)
+	node := sys.NewFullNode()
+	sp, err := node.Serve("127.0.0.1:0", SubscribeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.Serve("127.0.0.1:0", SubscribeOptions{}); err == nil {
+		t.Fatal("double Serve accepted")
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := node.Mine(carBlock(0), 0); err != nil {
+		t.Fatalf("mining after Close failed: %v", err)
+	}
+	sp2, err := node.Serve("127.0.0.1:0", SubscribeOptions{})
+	if err != nil {
+		t.Fatalf("re-Serve after Close failed: %v", err)
+	}
+	defer sp2.Close()
 }
 
 // TestFacadeProofStats checks that the shared engine is really shared:
