@@ -7,10 +7,17 @@
 //
 //	vchain-sp -listen 127.0.0.1:7060 -dataset eth -blocks 32
 //	vchain-sp -listen 127.0.0.1:7060 -mine-interval 2s -sub-lazy
+//	vchain-sp -listen 127.0.0.1:7060 -store ./sp-data -blocks 32
 //
 // With -mine-interval the SP keeps mining (cycling the dataset) after
 // startup, fanning each new block's publications out to connected
 // subscribers — the paper's §7 scenario end to end.
+//
+// With -store the chain and its ADS bodies persist in a crash-safe
+// segmented-log directory: every mined block is fsynced at commit
+// time, and restarting with the same -store resumes from the last
+// fully committed block instead of re-mining (a torn tail left by a
+// crash is truncated automatically).
 //
 // The SP prints the deterministic system configuration that clients
 // must mirror (seed, accumulator, dataset) — in a production deployment
@@ -30,6 +37,7 @@ import (
 	"github.com/vchain-go/vchain/internal/crypto/pairing"
 	"github.com/vchain-go/vchain/internal/proofs"
 	"github.com/vchain-go/vchain/internal/service"
+	"github.com/vchain-go/vchain/internal/storage"
 	"github.com/vchain-go/vchain/internal/subscribe"
 	"github.com/vchain-go/vchain/internal/workload"
 )
@@ -49,6 +57,7 @@ func main() {
 		subIP    = flag.Bool("sub-iptree", true, "share clause evaluation across subscriptions with the IP-tree (§7.1)")
 		subLT    = flag.Int("lazy-threshold", 0, "blocks a lazy span may stay pending (0 = engine default)")
 		maxFrame = flag.Int("max-frame", 0, "wire frame size cap in bytes (0 = default)")
+		store    = flag.String("store", "", "block store directory: blocks and ADSs persist there and are recovered on restart (empty = in-memory)")
 	)
 	flag.Parse()
 
@@ -65,10 +74,32 @@ func main() {
 	// public key.
 	q := 4096
 	acc := accumulator.KeyGenCon2Deterministic(pr, q, accumulator.HashEncoder{Q: q}, []byte("vchain-demo"))
-	node := core.NewFullNode(0, &core.Builder{Acc: acc, Mode: core.ModeBoth, SkipSize: 2, Width: ds.Width})
+	builder := &core.Builder{Acc: acc, Mode: core.ModeBoth, SkipSize: 2, Width: ds.Width}
+	var node *core.FullNode
+	if *store != "" {
+		// Durable SP: reopen the segmented-log block store, recovering
+		// any crash-torn tail, and continue the chain from where the
+		// previous process stopped.
+		node, err = core.OpenFullNode(0, builder, *store, storage.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vchain-sp:", err)
+			os.Exit(1)
+		}
+		if log, ok := node.Backend().(*storage.Log); ok {
+			rep := log.Report()
+			if rep.Truncated {
+				fmt.Printf("store %s: recovered %d blocks (truncated a torn tail: %d bytes, %d segments dropped)\n",
+					*store, rep.Records, rep.DroppedBytes, rep.DroppedSegments)
+			} else if rep.Records > 0 {
+				fmt.Printf("store %s: reopened with %d blocks\n", *store, rep.Records)
+			}
+		}
+	} else {
+		node = core.NewFullNode(0, builder)
+	}
+	defer node.Close()
 	node.Proofs = proofs.New(acc, proofs.Options{Workers: *workers, CacheSize: *cache})
-	fmt.Printf("mining %d blocks of %s (%d objects each)...\n", *blocks, *dataset, *objs)
-	mined := 0
+	mined := node.Height()
 	mine := func(objs []chain.Object) error {
 		if _, err := node.MineBlock(objs, int64(mined)); err != nil {
 			return err
@@ -76,8 +107,11 @@ func main() {
 		mined++
 		return nil
 	}
-	for _, blk := range ds.Blocks {
-		if err := mine(blk); err != nil {
+	if mined < *blocks {
+		fmt.Printf("mining %d blocks of %s (%d objects each)...\n", *blocks-mined, *dataset, *objs)
+	}
+	for mined < *blocks {
+		if err := mine(ds.Blocks[mined%len(ds.Blocks)]); err != nil {
 			fmt.Fprintln(os.Stderr, "vchain-sp:", err)
 			os.Exit(1)
 		}

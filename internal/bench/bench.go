@@ -298,22 +298,23 @@ func kb(bytes int) string {
 // Experiments maps experiment names to drivers. cmd/vchain-bench and
 // the tests iterate this.
 var Experiments = map[string]func(Options) (*Table, error){
-	"table1": Table1,
-	"fig9":   func(o Options) (*Table, error) { return TimeWindowFig(workload.FSQ, "Fig. 9", o) },
-	"fig10":  func(o Options) (*Table, error) { return TimeWindowFig(workload.WX, "Fig. 10", o) },
-	"fig11":  func(o Options) (*Table, error) { return TimeWindowFig(workload.ETH, "Fig. 11", o) },
-	"fig12":  func(o Options) (*Table, error) { return SubscriptionIPTreeFig(workload.FSQ, "Fig. 12", o) },
-	"fig13":  func(o Options) (*Table, error) { return SubscriptionPeriodFig(workload.FSQ, "Fig. 13", o) },
-	"fig14":  func(o Options) (*Table, error) { return SubscriptionPeriodFig(workload.WX, "Fig. 14", o) },
-	"fig15":  func(o Options) (*Table, error) { return SubscriptionPeriodFig(workload.ETH, "Fig. 15", o) },
-	"fig16":  MHTComparisonFig,
-	"fig17":  func(o Options) (*Table, error) { return SelectivityFig(workload.FSQ, "Fig. 17", o) },
-	"fig18":  func(o Options) (*Table, error) { return SelectivityFig(workload.WX, "Fig. 18", o) },
-	"fig19":  func(o Options) (*Table, error) { return SelectivityFig(workload.ETH, "Fig. 19", o) },
-	"fig20":  func(o Options) (*Table, error) { return SkipListFig(workload.FSQ, "Fig. 20", o) },
-	"fig21":  func(o Options) (*Table, error) { return SkipListFig(workload.WX, "Fig. 21", o) },
-	"fig22":  func(o Options) (*Table, error) { return SkipListFig(workload.ETH, "Fig. 22", o) },
-	"verify": func(o Options) (*Table, error) { return VerifyBatchFig(workload.FSQ, o) },
+	"table1":  Table1,
+	"fig9":    func(o Options) (*Table, error) { return TimeWindowFig(workload.FSQ, "Fig. 9", o) },
+	"fig10":   func(o Options) (*Table, error) { return TimeWindowFig(workload.WX, "Fig. 10", o) },
+	"fig11":   func(o Options) (*Table, error) { return TimeWindowFig(workload.ETH, "Fig. 11", o) },
+	"fig12":   func(o Options) (*Table, error) { return SubscriptionIPTreeFig(workload.FSQ, "Fig. 12", o) },
+	"fig13":   func(o Options) (*Table, error) { return SubscriptionPeriodFig(workload.FSQ, "Fig. 13", o) },
+	"fig14":   func(o Options) (*Table, error) { return SubscriptionPeriodFig(workload.WX, "Fig. 14", o) },
+	"fig15":   func(o Options) (*Table, error) { return SubscriptionPeriodFig(workload.ETH, "Fig. 15", o) },
+	"fig16":   MHTComparisonFig,
+	"fig17":   func(o Options) (*Table, error) { return SelectivityFig(workload.FSQ, "Fig. 17", o) },
+	"fig18":   func(o Options) (*Table, error) { return SelectivityFig(workload.WX, "Fig. 18", o) },
+	"fig19":   func(o Options) (*Table, error) { return SelectivityFig(workload.ETH, "Fig. 19", o) },
+	"fig20":   func(o Options) (*Table, error) { return SkipListFig(workload.FSQ, "Fig. 20", o) },
+	"fig21":   func(o Options) (*Table, error) { return SkipListFig(workload.WX, "Fig. 21", o) },
+	"fig22":   func(o Options) (*Table, error) { return SkipListFig(workload.ETH, "Fig. 22", o) },
+	"restart": RestartFig,
+	"verify":  func(o Options) (*Table, error) { return VerifyBatchFig(workload.FSQ, o) },
 	"subscribe": func(o Options) (*Table, error) {
 		return SubscriptionStreamFig(workload.FSQ, o)
 	},

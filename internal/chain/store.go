@@ -39,6 +39,26 @@ func (s *Store) Height() int {
 func (s *Store) Append(b *Block) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.validateNext(b); err != nil {
+		return err
+	}
+	s.blocks = append(s.blocks, b)
+	s.byHash[b.Header.Hash()] = int(b.Header.Height)
+	return nil
+}
+
+// Validate runs every Append-time check — height, linkage, timestamp
+// monotonicity, proof-of-work — without appending. The atomic commit
+// pipeline validates before it persists, so a record can never reach a
+// durable backend and then be rejected by the in-RAM store.
+func (s *Store) Validate(b *Block) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.validateNext(b)
+}
+
+// validateNext checks b as the next block; callers hold s.mu.
+func (s *Store) validateNext(b *Block) error {
 	h := b.Header
 	if int(h.Height) != len(s.blocks) {
 		return fmt.Errorf("chain: height %d, want %d", h.Height, len(s.blocks))
@@ -59,8 +79,6 @@ func (s *Store) Append(b *Block) error {
 	if !s.difficulty.Meets(h.Hash()) {
 		return errors.New("chain: proof-of-work does not meet difficulty")
 	}
-	s.blocks = append(s.blocks, b)
-	s.byHash[h.Hash()] = int(h.Height)
 	return nil
 }
 
@@ -173,30 +191,29 @@ func (l *LightStore) HeaderAt(height int) (Header, error) {
 func (l *LightStore) WindowByTime(ts, te int64) (start, end int, ok bool) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	return windowByTime(l.headers, ts, te)
+	return windowByTime(len(l.headers), func(i int) int64 { return l.headers[i].TS }, ts, te)
 }
 
 // WindowByTime is the full-node counterpart of LightStore.WindowByTime.
+// It binary-searches the blocks in place: no per-call header copy on
+// the SP hot path.
 func (s *Store) WindowByTime(ts, te int64) (start, end int, ok bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	headers := make([]Header, len(s.blocks))
-	for i, b := range s.blocks {
-		headers[i] = b.Header
-	}
-	return windowByTime(headers, ts, te)
+	return windowByTime(len(s.blocks), func(i int) int64 { return s.blocks[i].Header.TS }, ts, te)
 }
 
-// windowByTime binary-searches the monotone timestamps.
-func windowByTime(headers []Header, ts, te int64) (int, int, bool) {
-	if len(headers) == 0 || ts > te {
+// windowByTime binary-searches n monotone timestamps accessed through
+// at.
+func windowByTime(n int, at func(int) int64, ts, te int64) (int, int, bool) {
+	if n == 0 || ts > te {
 		return 0, 0, false
 	}
 	// First height with TS ≥ ts.
-	lo, hi := 0, len(headers)
+	lo, hi := 0, n
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if headers[mid].TS < ts {
+		if at(mid) < ts {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -204,10 +221,10 @@ func windowByTime(headers []Header, ts, te int64) (int, int, bool) {
 	}
 	start := lo
 	// Last height with TS ≤ te.
-	lo, hi = 0, len(headers)
+	lo, hi = 0, n
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if headers[mid].TS <= te {
+		if at(mid) <= te {
 			lo = mid + 1
 		} else {
 			hi = mid

@@ -27,14 +27,15 @@ func TestWindowByTime(t *testing.T) {
 		{10, 10, 0, 0, true},  // exact single
 		{35, 100, 4, 4, true}, // tail
 	}
+	at := func(i int) int64 { return hs[i].TS }
 	for _, c := range cases {
-		start, end, ok := windowByTime(hs, c.ts, c.te)
+		start, end, ok := windowByTime(len(hs), at, c.ts, c.te)
 		if ok != c.ok || (ok && (start != c.start || end != c.end)) {
 			t.Errorf("[%d,%d]: got (%d,%d,%v), want (%d,%d,%v)",
 				c.ts, c.te, start, end, ok, c.start, c.end, c.ok)
 		}
 	}
-	if _, _, ok := windowByTime(nil, 0, 10); ok {
+	if _, _, ok := windowByTime(0, at, 0, 10); ok {
 		t.Error("empty chain should have no window")
 	}
 }

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"github.com/vchain-go/vchain/internal/chain"
+	"github.com/vchain-go/vchain/internal/storage"
+)
+
+// chainRecord is the unit the block store persists: one block together
+// with its ADS body. The ADS is the expensive part — a Table 1
+// construction cost per block — so committing it alongside the block
+// lets a restarted node serve queries without rebuilding anything.
+type chainRecord struct {
+	Block *chain.Block
+	ADS   *BlockADS
+}
+
+// encodeRecord renders a (block, ADS) pair as one self-contained gob
+// stream, decodable in isolation (records are random-access in the
+// backend).
+func encodeRecord(blk *chain.Block, ads *BlockADS) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&chainRecord{Block: blk, ADS: ads}); err != nil {
+		return nil, fmt.Errorf("core: encoding chain record: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeRecord is the inverse of encodeRecord.
+func decodeRecord(data []byte) (*chain.Block, *BlockADS, error) {
+	var rec chainRecord
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rec); err != nil {
+		return nil, nil, fmt.Errorf("core: decoding chain record: %w", err)
+	}
+	if rec.Block == nil || rec.ADS == nil {
+		return nil, nil, fmt.Errorf("core: chain record missing block or ADS")
+	}
+	return rec.Block, rec.ADS, nil
+}
+
+// validateCommit checks that (blk, ads) is a valid next chain entry:
+// height alignment with the published state, ADS/header commitment
+// match, and every chain-level rule (linkage, timestamps,
+// proof-of-work). It mutates nothing; the commit pipeline validates
+// fully before a byte reaches the backend, so a record can never be
+// durably persisted and then rejected. The caller holds n.mu.
+func (n *FullNode) validateCommit(blk *chain.Block, ads *BlockADS, against *chain.Store, height int) error {
+	if blk == nil {
+		return fmt.Errorf("core: commit of a nil block")
+	}
+	if ads == nil || ads.Root == nil {
+		return fmt.Errorf("core: block %d missing ADS", blk.Header.Height)
+	}
+	if int(blk.Header.Height) != height {
+		return fmt.Errorf("core: commit height %d, want %d", blk.Header.Height, height)
+	}
+	if ads.Height != height {
+		return fmt.Errorf("core: ADS height %d does not match block %d", ads.Height, height)
+	}
+	if ads.MerkleRoot() != blk.Header.MerkleRoot {
+		return fmt.Errorf("core: block %d ADS root does not match header", height)
+	}
+	if got := ads.SkipListRoot(n.Builder.Acc); got != blk.Header.SkipListRoot {
+		return fmt.Errorf("core: block %d skip root does not match header", height)
+	}
+	return against.Validate(blk)
+}
+
+// commitLocked is the single choke point through which every (block,
+// ADS) pair enters the node: MineBlock, Load, and backend replay all
+// route through it. It validates, persists to the backend (unless the
+// record is already durable, i.e. during replay), and only then
+// publishes both halves — under the one n.mu write lock, so no reader
+// can ever observe the chain height advanced without the matching ADS,
+// and two concurrent commits can never interleave their appends.
+func (n *FullNode) commitLocked(blk *chain.Block, ads *BlockADS, persist bool) error {
+	if err := n.validateCommit(blk, ads, n.Store, len(n.adss)); err != nil {
+		return err
+	}
+	if _, ephemeral := n.backend.(storage.Ephemeral); ephemeral {
+		// Nothing to persist: don't pay for encoding a record the
+		// backend would discard.
+		persist = false
+	}
+	if persist {
+		data, err := encodeRecord(blk, ads)
+		if err != nil {
+			return err
+		}
+		if err := n.backend.Append(data); err != nil {
+			return fmt.Errorf("core: persisting block %d: %w", blk.Header.Height, err)
+		}
+	}
+	if err := n.Store.Append(blk); err != nil {
+		// Unreachable after validateCommit (n.mu serializes all
+		// writers), but if it ever fires the durable record must not
+		// outlive the rejected in-RAM append.
+		if persist {
+			if terr := n.backend.Truncate(len(n.adss)); terr != nil {
+				return fmt.Errorf("core: store/backend divergence at block %d: %v (rollback: %v)",
+					blk.Header.Height, err, terr)
+			}
+		}
+		return err
+	}
+	n.adss = append(n.adss, ads)
+	return nil
+}

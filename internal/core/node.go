@@ -8,19 +8,33 @@ import (
 	"github.com/vchain-go/vchain/internal/accumulator"
 	"github.com/vchain-go/vchain/internal/chain"
 	"github.com/vchain-go/vchain/internal/proofs"
+	"github.com/vchain-go/vchain/internal/storage"
 )
 
 // FullNode is a miner/SP node: the chain store plus the per-block ADS
 // bodies (only the roots of which live in headers). It implements
 // ChainView for the Builder and the SP.
+//
+// Every (block, ADS) pair enters the node through one atomic commit
+// pipeline (commitLocked) that validates, persists to the pluggable
+// storage backend, and publishes both halves under a single lock —
+// readers can never observe the chain height advanced without the
+// matching ADS.
 type FullNode struct {
-	// Store is the underlying block store.
+	// Store is the in-RAM block index: headers, hash lookup, and
+	// validation rules. It is populated exclusively through the commit
+	// pipeline; external callers must treat it as read-only.
 	Store *chain.Store
 	// Builder constructs the ADS for mined blocks.
 	Builder *Builder
 
+	// mu guards adss and serializes the commit pipeline.
 	mu   sync.RWMutex
 	adss []*BlockADS
+
+	// backend is the pluggable block store persisting committed
+	// records (the discarding storage.Null for plain in-memory nodes).
+	backend storage.Backend
 
 	// Proofs is the node's shared proof engine: every SP derived from
 	// this node routes its disjointness proofs through it, so repeated
@@ -45,10 +59,73 @@ type SetupStats struct {
 	ADSBytes int
 }
 
-// NewFullNode creates a node with the given proof-of-work difficulty
-// and ADS builder.
+// NewFullNode creates an ephemeral node with the given proof-of-work
+// difficulty and ADS builder: nothing survives the process, and no
+// persistence cost is paid. Use NewFullNodeOn or OpenFullNode for
+// durability.
 func NewFullNode(difficulty chain.Difficulty, b *Builder) *FullNode {
-	return &FullNode{Store: chain.NewStore(difficulty), Builder: b}
+	n, err := NewFullNodeOn(difficulty, b, storage.NewNull())
+	if err != nil {
+		// Impossible: an empty backend has nothing to replay.
+		panic(err)
+	}
+	return n
+}
+
+// NewFullNodeOn creates a node over an existing storage backend and
+// replays every committed record into RAM: blocks re-validate against
+// the difficulty and linkage rules and each persisted ADS is checked
+// against its header commitments, but nothing is rebuilt — cold start
+// is a decode, not a re-mine. The node owns the backend from here on
+// (Close closes it); every block mined or imported later is persisted
+// to it at commit time.
+func NewFullNodeOn(difficulty chain.Difficulty, b *Builder, be storage.Backend) (*FullNode, error) {
+	n := &FullNode{Store: chain.NewStore(difficulty), Builder: b, backend: be}
+	for i := 0; i < be.Len(); i++ {
+		data, err := be.Read(i)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading stored block %d: %w", i, err)
+		}
+		blk, ads, err := decodeRecord(data)
+		if err != nil {
+			return nil, fmt.Errorf("core: stored block %d: %w", i, err)
+		}
+		// The records are already durable: replay publishes them
+		// without re-persisting.
+		if err := n.commitLocked(blk, ads, false); err != nil {
+			return nil, fmt.Errorf("core: stored block %d rejected: %w", i, err)
+		}
+	}
+	return n, nil
+}
+
+// OpenFullNode opens (or creates) the segmented-log block store in dir
+// and replays it into a node: the durable counterpart of NewFullNode.
+// A crash-torn log tail is truncated to the last valid record before
+// replay (see storage.Open).
+func OpenFullNode(difficulty chain.Difficulty, b *Builder, dir string, opts storage.Options) (*FullNode, error) {
+	log, err := storage.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	n, err := NewFullNodeOn(difficulty, b, log)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	return n, nil
+}
+
+// Backend exposes the node's storage backend (e.g. to report recovery
+// statistics from a storage.Log).
+func (n *FullNode) Backend() storage.Backend { return n.backend }
+
+// Close releases the storage backend. The node must not be used
+// afterwards.
+func (n *FullNode) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.backend.Close()
 }
 
 // ADSAt implements ChainView.
@@ -99,16 +176,19 @@ func (n *FullNode) MineBlock(objs []chain.Object, ts int64) (*chain.Block, error
 		return nil, err
 	}
 	blk := &chain.Block{Header: solved, Objects: objs}
-	if err := n.Store.Append(blk); err != nil {
+
+	// One atomic commit: validate, persist, publish block and ADS under
+	// a single lock. A concurrent reader can never see the store at
+	// h+1 with ADSAt(h) still nil, and a losing concurrent miner fails
+	// cleanly here without touching any state.
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err := n.commitLocked(blk, ads, true); err != nil {
 		return nil, err
 	}
-
-	n.mu.Lock()
-	n.adss = append(n.adss, ads)
 	n.SetupStats.Blocks++
 	n.SetupStats.BuildTime += buildTime
 	n.SetupStats.ADSBytes += ads.SizeBytes(n.Builder.Acc)
-	n.mu.Unlock()
 	return blk, nil
 }
 

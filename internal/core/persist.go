@@ -7,12 +7,17 @@ import (
 	"os"
 
 	"github.com/vchain-go/vchain/internal/chain"
+	"github.com/vchain-go/vchain/internal/storage"
 )
 
-// snapshot is the on-disk representation of a full node's state: the
-// raw blocks plus the ADS bodies (which are expensive to rebuild — a
-// Table 1 cost per block). The accumulator public key is NOT part of
-// the snapshot; it is deployment configuration.
+// snapshot is the whole-chain export format: the raw blocks plus the
+// ADS bodies (which are expensive to rebuild — a Table 1 cost per
+// block). It predates the incremental block store and is kept as a
+// migration and interchange format: Save exports any node's state
+// (whatever its backend) to one stream, and Load imports a snapshot
+// through the atomic commit pipeline — onto a durable backend if the
+// node has one. The accumulator public key is NOT part of a snapshot;
+// it is deployment configuration.
 type snapshot struct {
 	Blocks []*chain.Block
 	ADSs   []*BlockADS
@@ -49,14 +54,14 @@ func (n *FullNode) SaveFile(path string) error {
 	return f.Sync()
 }
 
-// Load restores a node from r into this (empty) node, re-validating
-// every block against the store's difficulty and linkage rules and
-// checking that the persisted ADS roots match the header commitments —
-// a corrupted or tampered snapshot is rejected.
+// Load imports a snapshot into this (empty) node, all or nothing: the
+// whole snapshot is staged and validated first — every block against
+// the difficulty and linkage rules, every ADS against its header
+// commitments — and only then committed through the atomic pipeline,
+// persisting each record to the node's backend. A corrupted or
+// tampered snapshot is rejected with the node still empty; no reader
+// can ever observe a half-imported chain.
 func (n *FullNode) Load(r io.Reader) error {
-	if n.Store.Height() != 0 {
-		return fmt.Errorf("core: Load requires an empty node")
-	}
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return fmt.Errorf("core: decoding snapshot: %w", err)
@@ -64,23 +69,53 @@ func (n *FullNode) Load(r io.Reader) error {
 	if len(snap.Blocks) != len(snap.ADSs) {
 		return fmt.Errorf("core: snapshot has %d blocks but %d ADSs", len(snap.Blocks), len(snap.ADSs))
 	}
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.adss) != 0 || n.Store.Height() != 0 {
+		return fmt.Errorf("core: Load requires an empty node")
+	}
+
+	// Stage: run every commit-time check against a scratch store before
+	// touching any node state.
+	scratch := chain.NewStore(n.Store.Difficulty())
 	for i, b := range snap.Blocks {
-		ads := snap.ADSs[i]
-		if ads == nil || ads.Root == nil {
-			return fmt.Errorf("core: snapshot block %d missing ADS", i)
-		}
-		if ads.MerkleRoot() != b.Header.MerkleRoot {
-			return fmt.Errorf("core: snapshot block %d ADS root does not match header", i)
-		}
-		if got := ads.SkipListRoot(n.Builder.Acc); got != b.Header.SkipListRoot {
-			return fmt.Errorf("core: snapshot block %d skip root does not match header", i)
-		}
-		if err := n.Store.Append(b); err != nil {
+		if err := n.validateCommit(b, snap.ADSs[i], scratch, i); err != nil {
 			return fmt.Errorf("core: snapshot block %d rejected: %w", i, err)
 		}
-		n.mu.Lock()
-		n.adss = append(n.adss, ads)
-		n.mu.Unlock()
+		if err := scratch.Append(b); err != nil {
+			return fmt.Errorf("core: snapshot block %d rejected: %w", i, err)
+		}
+	}
+
+	// Persist: every record reaches the backend before any becomes
+	// visible. A backend failure mid-import (e.g. disk full) truncates
+	// the backend back to empty — RAM was never touched, so the
+	// all-or-nothing contract holds even then. An ephemeral backend
+	// would discard the records: skip the encoding.
+	if _, ephemeral := n.backend.(storage.Ephemeral); !ephemeral {
+		for i, b := range snap.Blocks {
+			data, err := encodeRecord(b, snap.ADSs[i])
+			if err == nil {
+				err = n.backend.Append(data)
+			}
+			if err != nil {
+				if terr := n.backend.Truncate(0); terr != nil {
+					return fmt.Errorf("core: persisting snapshot block %d: %v (rollback: %v)", i, err, terr)
+				}
+				return fmt.Errorf("core: persisting snapshot block %d: %w", i, err)
+			}
+		}
+	}
+
+	// Publish: everything validated and durable; route each pair
+	// through the commit choke point (re-persisting nothing). Failure
+	// here is unreachable — the scratch store validated this exact
+	// sequence under the same rules.
+	for i, b := range snap.Blocks {
+		if err := n.commitLocked(b, snap.ADSs[i], false); err != nil {
+			return fmt.Errorf("core: publishing snapshot block %d: %w", i, err)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package storage
+
+import "os"
+
+// lockDir is a no-op where flock is unavailable: single-writer
+// discipline is then the operator's responsibility.
+func lockDir(*os.File) error { return nil }

@@ -1,0 +1,22 @@
+//go:build unix
+
+package storage
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockDir takes a non-blocking exclusive flock on the log directory so
+// two processes can never append to the same store: concurrent writers
+// would interleave WriteAt offsets and destroy each other's
+// acknowledged records. The lock rides the directory file descriptor
+// and is released automatically when it closes (including on process
+// death, clean or not).
+func lockDir(dirF *os.File) error {
+	if err := syscall.Flock(int(dirF.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		return fmt.Errorf("storage: log dir %s is locked by another process: %w", dirF.Name(), err)
+	}
+	return nil
+}

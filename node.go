@@ -7,6 +7,7 @@ import (
 	"github.com/vchain-go/vchain/internal/chain"
 	"github.com/vchain-go/vchain/internal/core"
 	"github.com/vchain-go/vchain/internal/service"
+	"github.com/vchain-go/vchain/internal/storage"
 	"github.com/vchain-go/vchain/internal/subscribe"
 )
 
@@ -25,21 +26,50 @@ type FullNode struct {
 	srv        *service.Server
 }
 
-// NewFullNode creates a full node (miner + SP) for this system.
-func (s *System) NewFullNode() *FullNode {
-	builder := &core.Builder{
+// builder constructs the system's ADS builder configuration.
+func (s *System) builder() *core.Builder {
+	return &core.Builder{
 		Acc:      s.acc,
 		Mode:     s.cfg.Index,
 		SkipSize: s.cfg.SkipListSize,
 		Width:    s.cfg.BitWidth,
 	}
-	node := core.NewFullNode(chain.Difficulty(s.cfg.Difficulty), builder)
+}
+
+// NewFullNode creates an in-memory full node (miner + SP) for this
+// system: nothing survives the process. Use OpenFullNode for a node
+// whose chain persists across restarts.
+func (s *System) NewFullNode() *FullNode {
+	node := core.NewFullNode(chain.Difficulty(s.cfg.Difficulty), s.builder())
 	// Every SP derived from this node shares the deployment's proof
 	// engine: repeated windows, batched queries, and subscriptions all
 	// reuse one proof cache and worker pool.
 	node.Proofs = s.proofs
 	return &FullNode{sys: s, node: node}
 }
+
+// OpenFullNode opens (or creates) a durable full node whose blocks and
+// ADS bodies live in a crash-safe segmented-log block store at dir.
+// Every mined or imported block is persisted atomically at commit
+// time; reopening the directory restores the chain by decoding — never
+// rebuilding — the stored ADSs, so a restarted SP serves verifiable
+// queries immediately. A torn tail left by a crash is truncated to the
+// last fully committed block. The accumulator public key is not part
+// of the store (it is deployment configuration): this System must use
+// the key that produced it, or replay's ADS/header cross-checks will
+// reject the chain. Call Close when done with the node.
+func (s *System) OpenFullNode(dir string) (*FullNode, error) {
+	node, err := core.OpenFullNode(chain.Difficulty(s.cfg.Difficulty), s.builder(), dir, storage.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("vchain: opening block store: %w", err)
+	}
+	node.Proofs = s.proofs
+	return &FullNode{sys: s, node: node}, nil
+}
+
+// Close releases the node's block store. The node — in-memory or
+// durable — must not be used afterwards.
+func (n *FullNode) Close() error { return n.node.Close() }
 
 // Mine appends a block of objects with the given timestamp, returning
 // the new block. Registered subscriptions are processed automatically;

@@ -436,3 +436,55 @@ func TestFacadeProofStats(t *testing.T) {
 		t.Errorf("time-window traffic did not reach the shared engine: %+v vs %+v", st, afterSubs)
 	}
 }
+
+func TestFacadeOpenFullNode(t *testing.T) {
+	sys := testSystem(t, "acc2", IndexBoth)
+	dir := t.TempDir()
+	node, err := sys.OpenFullNode(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := node.Mine(carBlock(i), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := node.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh node over the same directory serves verifiable queries
+	// immediately — the paper's SP restarting without a rebuild.
+	re, err := sys.OpenFullNode(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Height() != 3 {
+		t.Fatalf("reopened height %d, want 3", re.Height())
+	}
+	client := sys.NewLightClient()
+	if err := client.SyncHeaders(re.Headers()); err != nil {
+		t.Fatal(err)
+	}
+	q := Query{StartBlock: 0, EndBlock: 2, Bool: And(Or("sedan")), Width: 4}
+	vo, err := re.TimeWindow(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := client.Verify(q, vo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results %d, want 3", len(results))
+	}
+	// Mining continues the persisted chain through the same commit
+	// pipeline.
+	if _, _, err := re.Mine(carBlock(3), 3); err != nil {
+		t.Fatal(err)
+	}
+	if re.Height() != 4 {
+		t.Fatalf("post-reopen height %d, want 4", re.Height())
+	}
+}
