@@ -6,20 +6,42 @@
 //	vchain-bench -exp table1                 # one experiment
 //	vchain-bench -exp all                    # everything (slow)
 //	vchain-bench -exp fig9 -blocks 64 -queries 5 -preset default
+//	vchain-bench -exp shard -shards 2        # sharded SP smoke (1 vs 2 shards)
 //
 // Each experiment prints an aligned text table whose rows mirror the
-// paper's series; see EXPERIMENTS.md for the paper-vs-measured notes.
+// paper's series, and writes the same data as a machine-readable
+// BENCH_<experiment>.json artifact into -json-dir (so CI and the
+// process tracking the perf trajectory can diff runs); see
+// EXPERIMENTS.md for the paper-vs-measured notes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"github.com/vchain-go/vchain/internal/bench"
 )
+
+// artifact is the JSON schema of one BENCH_<experiment>.json file:
+// the rendered table plus enough context (options, host parallelism,
+// wall time) to compare artifacts across runs and machines.
+type artifact struct {
+	Experiment string        `json:"experiment"`
+	Title      string        `json:"title"`
+	Note       string        `json:"note,omitempty"`
+	Columns    []string      `json:"columns"`
+	Rows       [][]string    `json:"rows"`
+	Options    bench.Options `json:"options"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	ElapsedMs  int64         `json:"elapsed_ms"`
+	Timestamp  string        `json:"timestamp"`
+}
 
 func main() {
 	var (
@@ -30,6 +52,8 @@ func main() {
 		queries = flag.Int("queries", 0, "queries averaged per data point (0 = default)")
 		skip    = flag.Int("skiplist", 0, "skip-list size ℓ (0 = default)")
 		seed    = flag.Int64("seed", 0, "workload seed (0 = default)")
+		shards  = flag.Int("shards", 0, "pin the 'shard' experiment to {1, N} shards (0 = full 1/2/4/NumCPU sweep)")
+		jsonDir = flag.String("json-dir", ".", "directory for BENCH_<experiment>.json artifacts (empty = don't write)")
 	)
 	flag.Parse()
 
@@ -44,6 +68,7 @@ func main() {
 		Queries:         *queries,
 		SkipListSize:    *skip,
 		Seed:            *seed,
+		Shards:          *shards,
 	}
 
 	names := []string{*exp}
@@ -63,7 +88,33 @@ func main() {
 			fmt.Fprintf(os.Stderr, "vchain-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
 		fmt.Println(table.String())
-		fmt.Printf("   (completed in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Printf("   (completed in %v)\n\n", elapsed.Round(time.Millisecond))
+		if *jsonDir == "" {
+			continue
+		}
+		art := artifact{
+			Experiment: name,
+			Title:      table.Title,
+			Note:       table.Note,
+			Columns:    table.Columns,
+			Rows:       table.Rows,
+			Options:    opts,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			ElapsedMs:  elapsed.Milliseconds(),
+			Timestamp:  start.UTC().Format(time.RFC3339),
+		}
+		data, err := json.MarshalIndent(&art, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vchain-bench: %s: encoding artifact: %v\n", name, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*jsonDir, "BENCH_"+name+".json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "vchain-bench: %s: writing %s: %v\n", name, path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("   artifact: %s\n\n", path)
 	}
 }

@@ -71,15 +71,26 @@ func main() {
 		fatal(err)
 	}
 
-	vo, err := cli.Query(query, *batched)
+	// QueryParts handles both answer shapes: a monolithic SP returns one
+	// part spanning the window, a sharded SP several (one per covering
+	// shard span); either way the union verifies in one pairing batch.
+	parts, err := cli.QueryParts(query, *batched)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("VO received: %d bytes\n", vo.SizeBytes(acc))
+	voBytes := 0
+	for _, p := range parts {
+		voBytes += p.VO.SizeBytes(acc)
+	}
+	if len(parts) == 1 {
+		fmt.Printf("VO received: %d bytes\n", voBytes)
+	} else {
+		fmt.Printf("VO received: %d bytes in %d shard parts\n", voBytes, len(parts))
+	}
 
 	ver := &core.Verifier{Acc: acc, Light: light, Sequential: *seqVer, Workers: *workers}
 	t0 := time.Now()
-	results, err := ver.VerifyTimeWindow(query, vo)
+	results, err := ver.VerifyWindowParts(query, parts)
 	if err != nil {
 		fatal(fmt.Errorf("VERIFICATION FAILED — the SP is cheating or misconfigured: %w", err))
 	}

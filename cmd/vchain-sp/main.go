@@ -19,6 +19,13 @@
 // fully committed block instead of re-mining (a torn tail left by a
 // crash is truncated automatically).
 //
+// With -shards N the SP partitions the chain by height range across N
+// shard workers: each owns its own block store subdirectory and proof
+// engine (the -workers budget is split, not multiplied), time-window
+// queries scatter-gather across the covering shards, and the merged
+// VOs verify client-side in one pairing batch. Restarting a sharded
+// -store recovers each shard independently.
+//
 // The SP prints the deterministic system configuration that clients
 // must mirror (seed, accumulator, dataset) — in a production deployment
 // this would be chain metadata; here it keeps the demo self-contained.
@@ -37,10 +44,20 @@ import (
 	"github.com/vchain-go/vchain/internal/crypto/pairing"
 	"github.com/vchain-go/vchain/internal/proofs"
 	"github.com/vchain-go/vchain/internal/service"
+	"github.com/vchain-go/vchain/internal/shard"
 	"github.com/vchain-go/vchain/internal/storage"
 	"github.com/vchain-go/vchain/internal/subscribe"
 	"github.com/vchain-go/vchain/internal/workload"
 )
+
+// spNode is what this command needs from a node, satisfied by both the
+// monolithic core.FullNode and the sharded shard.Node.
+type spNode interface {
+	service.Chain
+	MineBlock(objs []chain.Object, ts int64) (*chain.Block, error)
+	Height() int
+	Close() error
+}
 
 func main() {
 	var (
@@ -50,7 +67,7 @@ func main() {
 		objs     = flag.Int("objects", 4, "objects per block")
 		preset   = flag.String("preset", "toy", "pairing preset")
 		seed     = flag.Int64("seed", 42, "workload seed")
-		workers  = flag.Int("workers", 4, "proof-computation workers")
+		workers  = flag.Int("workers", 4, "proof-computation workers (a sharded SP splits this budget across shards)")
 		cache    = flag.Int("proof-cache", 0, "proof cache entries (0 = default, <0 disables)")
 		interval = flag.Duration("mine-interval", 0, "keep mining one block per interval after startup (0 = off)")
 		subLazy  = flag.Bool("sub-lazy", false, "lazy subscription authentication (§7.2): defer mismatch proofs into spans")
@@ -58,6 +75,8 @@ func main() {
 		subLT    = flag.Int("lazy-threshold", 0, "blocks a lazy span may stay pending (0 = engine default)")
 		maxFrame = flag.Int("max-frame", 0, "wire frame size cap in bytes (0 = default)")
 		store    = flag.String("store", "", "block store directory: blocks and ADSs persist there and are recovered on restart (empty = in-memory)")
+		shards   = flag.Int("shards", 1, "shard the SP by height range across this many workers (queries scatter-gather, VOs merge into one pairing batch)")
+		band     = flag.Int("band", 0, "consecutive heights per shard band (0 = default)")
 	)
 	flag.Parse()
 
@@ -75,17 +94,46 @@ func main() {
 	q := 4096
 	acc := accumulator.KeyGenCon2Deterministic(pr, q, accumulator.HashEncoder{Q: q}, []byte("vchain-demo"))
 	builder := &core.Builder{Acc: acc, Mode: core.ModeBoth, SkipSize: 2, Width: ds.Width}
-	var node *core.FullNode
-	if *store != "" {
+	var node spNode
+	var snode *shard.Node // set when sharded, for the per-shard stats breakdown
+	if *shards > 1 {
+		opts := shard.Options{Shards: *shards, Band: *band, Workers: *workers, CacheSize: *cache}
+		if *store != "" {
+			// Durable sharded SP: reopen every shard's segmented log
+			// (each recovering its own torn tail) and resume from the
+			// last height all shards agree on.
+			sn, rep, err := shard.Open(0, builder, *store, opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vchain-sp:", err)
+				os.Exit(1)
+			}
+			for _, sr := range rep.Shards {
+				switch {
+				case sr.Log.Truncated || sr.Dropped > 0:
+					fmt.Printf("store %s/%s: recovered %d records (torn tail: %v, %d stranded records dropped)\n",
+						*store, sr.Dir, sr.Log.Records, sr.Log.Truncated, sr.Dropped)
+				case sr.Log.Records > 0:
+					fmt.Printf("store %s/%s: reopened with %d records\n", *store, sr.Dir, sr.Log.Records)
+				}
+			}
+			if rep.Blocks > 0 {
+				fmt.Printf("store %s: resumed at height %d across %d shards\n", *store, rep.Blocks, *shards)
+			}
+			snode = sn
+		} else {
+			snode = shard.New(0, builder, opts)
+		}
+		node = snode
+	} else if *store != "" {
 		// Durable SP: reopen the segmented-log block store, recovering
 		// any crash-torn tail, and continue the chain from where the
 		// previous process stopped.
-		node, err = core.OpenFullNode(0, builder, *store, storage.Options{})
+		fn, err := core.OpenFullNode(0, builder, *store, storage.Options{})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vchain-sp:", err)
 			os.Exit(1)
 		}
-		if log, ok := node.Backend().(*storage.Log); ok {
+		if log, ok := fn.Backend().(*storage.Log); ok {
 			rep := log.Report()
 			if rep.Truncated {
 				fmt.Printf("store %s: recovered %d blocks (truncated a torn tail: %d bytes, %d segments dropped)\n",
@@ -94,11 +142,14 @@ func main() {
 				fmt.Printf("store %s: reopened with %d blocks\n", *store, rep.Records)
 			}
 		}
+		fn.Proofs = proofs.New(acc, proofs.Options{Workers: *workers, CacheSize: *cache})
+		node = fn
 	} else {
-		node = core.NewFullNode(0, builder)
+		fn := core.NewFullNode(0, builder)
+		fn.Proofs = proofs.New(acc, proofs.Options{Workers: *workers, CacheSize: *cache})
+		node = fn
 	}
 	defer node.Close()
-	node.Proofs = proofs.New(acc, proofs.Options{Workers: *workers, CacheSize: *cache})
 	mined := node.Height()
 	mine := func(objs []chain.Object) error {
 		if _, err := node.MineBlock(objs, int64(mined)); err != nil {
@@ -131,8 +182,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vchain-sp:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("serving on %s  (dataset=%s blocks=%d preset=%s seed=%d width=%d)\n",
-		addr, *dataset, *blocks, *preset, *seed, ds.Width)
+	fmt.Printf("serving on %s  (dataset=%s blocks=%d preset=%s seed=%d width=%d shards=%d)\n",
+		addr, *dataset, *blocks, *preset, *seed, ds.Width, *shards)
 	fmt.Println("query with:     vchain-query -sp", addr, "-preset", *preset, "-width", ds.Width)
 	fmt.Println("subscribe with: vchain-subscribe -sp", addr, "-preset", *preset, "-width", ds.Width)
 
@@ -170,9 +221,18 @@ func main() {
 	}
 	srv.Close()
 
-	st := node.ProofEngine().Stats()
+	// Aggregate across every engine: on a sharded SP each shard runs
+	// its own engine, and printing only the first engine's counters
+	// would under-report the process by a factor of the shard count.
+	st := node.ProofStats()
 	fmt.Printf("proof engine: %d proofs computed, %d cache hits / %d misses (%.1f%% hit rate), %d agg groups, %d errors\n",
 		st.Proofs, st.CacheHits, st.CacheMisses, st.HitRate()*100, st.AggGroups, st.Errors)
+	if snode != nil {
+		for i, ss := range snode.ShardStats() {
+			fmt.Printf("  shard %d: %d proofs, %d hits / %d misses, %d agg groups, %d errors\n",
+				i, ss.Proofs, ss.CacheHits, ss.CacheMisses, ss.AggGroups, ss.Errors)
+		}
+	}
 	if ev := srv.Evictions(); ev > 0 {
 		fmt.Printf("slow consumers evicted: %d\n", ev)
 	}

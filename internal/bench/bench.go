@@ -41,6 +41,10 @@ type Options struct {
 	SkipListSize int
 	// Seed drives all generators.
 	Seed int64
+	// Shards pins the "shard" experiment to {1, Shards} instead of the
+	// full 1/2/4/NumCPU sweep (CI smoke runs use it to stay fast). 0
+	// means the full sweep. Other experiments ignore it.
+	Shards int
 }
 
 // DefaultOptions returns the laptop-scale defaults.
@@ -314,6 +318,7 @@ var Experiments = map[string]func(Options) (*Table, error){
 	"fig21":   func(o Options) (*Table, error) { return SkipListFig(workload.WX, "Fig. 21", o) },
 	"fig22":   func(o Options) (*Table, error) { return SkipListFig(workload.ETH, "Fig. 22", o) },
 	"restart": RestartFig,
+	"shard":   ShardFig,
 	"verify":  func(o Options) (*Table, error) { return VerifyBatchFig(workload.FSQ, o) },
 	"subscribe": func(o Options) (*Table, error) {
 		return SubscriptionStreamFig(workload.FSQ, o)

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"github.com/vchain-go/vchain/internal/chain"
+	"github.com/vchain-go/vchain/internal/core"
+	"github.com/vchain-go/vchain/internal/crypto/pairing"
+	"github.com/vchain-go/vchain/internal/shard"
+	"github.com/vchain-go/vchain/internal/workload"
+)
+
+// shardCounts picks the shard counts to sweep: the canonical
+// 1/2/4/NumCPU series, or {1, pinned} when the caller pins a count
+// (the 1-shard row stays — it is the baseline every speedup and
+// byte-identity check is measured against).
+func shardCounts(pinned int) []int {
+	if pinned > 0 {
+		if pinned == 1 {
+			return []int{1}
+		}
+		return []int{1, pinned}
+	}
+	set := map[int]bool{1: true, 2: true, 4: true, runtime.NumCPU(): true}
+	out := make([]int, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ShardFig measures the sharded SP: time-window throughput and VO
+// bytes as the shard count grows. Every configuration mines the same
+// chain, answers the same full-window queries via scatter-gather
+// (shard.Node.TimeWindowParts), and verifies the merged parts through
+// one batched pairing flush (Verifier.VerifyWindowParts). The result
+// sets must be byte-identical across shard counts — the 1-shard row is
+// the anchor — or the experiment fails. Proof caching is disabled so
+// every row pays the full prove cost and the speedup column reflects
+// parallelism, not cache reuse; each row's worker budget equals its
+// shard count, so the sweep reports scaling up to NumCPU.
+func ShardFig(o Options) (*Table, error) {
+	o = o.withDefaults()
+	pr := pairing.ByName(o.Preset)
+	ds, err := workload.Generate(workload.Config{Kind: workload.FSQ, Blocks: o.Blocks, ObjectsPerBlock: o.ObjectsPerBlock, Seed: o.Seed})
+	if err != nil {
+		return nil, err
+	}
+	// A wide range and fat disjunction keep the result sets non-empty,
+	// so the cross-shard byte-identity check compares real objects, not
+	// vacuously equal empty sets.
+	queries := ds.RandomQueries(o.Queries, workload.QueryConfig{Seed: o.Seed + 17, RangeDims: 1, Selectivity: 0.6, BoolSize: 3})
+	counts := shardCounts(o.Shards)
+	acc := newAccumulator(pr, ds, o, "acc2")
+
+	t := &Table{
+		Title: "Sharded SP: Time-Window Throughput vs Shard Count",
+		Note: fmt.Sprintf("%d blocks, %d objects/block, %d full-window queries/row, GOMAXPROCS=%d; "+
+			"proof cache off; union verified in one batched pairing flush, results byte-identical to 1 shard",
+			o.Blocks, o.ObjectsPerBlock, o.Queries, runtime.GOMAXPROCS(0)),
+		Columns: []string{"Shards", "Workers", "SP CPU(ms)", "Queries/s", "Speedup", "VO(KB)", "Parts", "Results"},
+	}
+
+	// A band smaller than the default keeps full-window queries
+	// genuinely cross-shard even on short bench chains: every shard
+	// owns at least two bands at the largest swept count.
+	band := o.Blocks / (2 * counts[len(counts)-1])
+	if band < 1 {
+		band = 1
+	}
+
+	var baseline []string // per-query result fingerprints at 1 shard
+	var baseQPS float64
+	for _, c := range counts {
+		b := &core.Builder{Acc: acc, Mode: core.ModeBoth, SkipSize: o.SkipListSize, Width: ds.Width}
+		node := shard.New(0, b, shard.Options{Shards: c, Band: band, Workers: c, CacheSize: -1})
+		for i, blk := range ds.Blocks {
+			if _, err := node.MineBlock(blk, int64(i)); err != nil {
+				node.Close()
+				return nil, fmt.Errorf("bench: mining block %d at %d shards: %w", i, c, err)
+			}
+		}
+		light := chain.NewLightStore(0)
+		if err := light.Sync(node.Headers()); err != nil {
+			node.Close()
+			return nil, err
+		}
+		ver := &core.Verifier{Acc: acc, Light: light}
+
+		var (
+			spTotal      time.Duration
+			voBytes      int
+			partCount    int
+			results      int
+			fingerprints = make([]string, len(queries))
+		)
+		for qi, q := range queries {
+			q.StartBlock, q.EndBlock = 0, o.Blocks-1
+			t0 := time.Now()
+			parts, err := node.TimeWindowParts(q, false)
+			if err != nil {
+				node.Close()
+				return nil, fmt.Errorf("bench: query at %d shards: %w", c, err)
+			}
+			spTotal += time.Since(t0)
+			for _, p := range parts {
+				voBytes += p.VO.SizeBytes(acc)
+			}
+			partCount += len(parts)
+			res, err := ver.VerifyWindowParts(q, parts)
+			if err != nil {
+				node.Close()
+				return nil, fmt.Errorf("bench: verification rejected honest sharded VO at %d shards: %w", c, err)
+			}
+			results += len(res)
+			fingerprints[qi] = fmt.Sprintf("%v", res)
+		}
+		node.Close()
+
+		if baseline == nil {
+			baseline = fingerprints
+		} else {
+			for qi := range queries {
+				if fingerprints[qi] != baseline[qi] {
+					return nil, fmt.Errorf("bench: %d-shard results for query %d diverge from the 1-shard baseline", c, qi)
+				}
+			}
+		}
+
+		qps := float64(len(queries)) / spTotal.Seconds()
+		if baseQPS == 0 {
+			baseQPS = qps
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", c),
+			fmt.Sprintf("%d", c),
+			ms(spTotal / time.Duration(len(queries))),
+			fmt.Sprintf("%.1f", qps),
+			fmt.Sprintf("%.2fx", qps/baseQPS),
+			kb(voBytes / len(queries)),
+			fmt.Sprintf("%.1f", float64(partCount)/float64(len(queries))),
+			fmt.Sprintf("%d", results/len(queries)),
+		})
+	}
+	return t, nil
+}

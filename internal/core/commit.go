@@ -41,13 +41,26 @@ func decodeRecord(data []byte) (*chain.Block, *BlockADS, error) {
 	return rec.Block, rec.ADS, nil
 }
 
-// validateCommit checks that (blk, ads) is a valid next chain entry:
-// height alignment with the published state, ADS/header commitment
+// EncodeChainRecord renders a (block, ADS) pair in the canonical commit
+// record format. The shard router persists the identical format into
+// its per-shard backends, so a shard directory is readable by the same
+// tooling as a monolithic store.
+func EncodeChainRecord(blk *chain.Block, ads *BlockADS) ([]byte, error) {
+	return encodeRecord(blk, ads)
+}
+
+// DecodeChainRecord is the inverse of EncodeChainRecord.
+func DecodeChainRecord(data []byte) (*chain.Block, *BlockADS, error) {
+	return decodeRecord(data)
+}
+
+// ValidateCommit checks that (blk, ads) is a valid chain entry at the
+// given height of the store: height alignment, ADS/header commitment
 // match, and every chain-level rule (linkage, timestamps,
-// proof-of-work). It mutates nothing; the commit pipeline validates
-// fully before a byte reaches the backend, so a record can never be
-// durably persisted and then rejected. The caller holds n.mu.
-func (n *FullNode) validateCommit(blk *chain.Block, ads *BlockADS, against *chain.Store, height int) error {
+// proof-of-work). It mutates nothing. FullNode's commit pipeline and
+// the shard router both run it before a byte reaches any backend, so a
+// record can never be durably persisted and then rejected.
+func ValidateCommit(b *Builder, against *chain.Store, height int, blk *chain.Block, ads *BlockADS) error {
 	if blk == nil {
 		return fmt.Errorf("core: commit of a nil block")
 	}
@@ -63,10 +76,16 @@ func (n *FullNode) validateCommit(blk *chain.Block, ads *BlockADS, against *chai
 	if ads.MerkleRoot() != blk.Header.MerkleRoot {
 		return fmt.Errorf("core: block %d ADS root does not match header", height)
 	}
-	if got := ads.SkipListRoot(n.Builder.Acc); got != blk.Header.SkipListRoot {
+	if got := ads.SkipListRoot(b.Acc); got != blk.Header.SkipListRoot {
 		return fmt.Errorf("core: block %d skip root does not match header", height)
 	}
 	return against.Validate(blk)
+}
+
+// validateCommit checks that (blk, ads) is a valid next chain entry;
+// see ValidateCommit. The caller holds n.mu.
+func (n *FullNode) validateCommit(blk *chain.Block, ads *BlockADS, against *chain.Store, height int) error {
+	return ValidateCommit(n.Builder, against, height, blk, ads)
 }
 
 // commitLocked is the single choke point through which every (block,

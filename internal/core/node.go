@@ -219,3 +219,28 @@ func (n *FullNode) Acc() accumulator.Accumulator { return n.Builder.Acc }
 
 // Height returns the chain height.
 func (n *FullNode) Height() int { return n.Store.Height() }
+
+// Headers returns every block header (what light clients sync).
+func (n *FullNode) Headers() []chain.Header { return n.Store.Headers() }
+
+// BitWidth returns the builder's numeric attribute width.
+func (n *FullNode) BitWidth() int { return n.Builder.Width }
+
+// ProofStats snapshots the node's proof-engine counters. On a sharded
+// node the same method aggregates across shards; the service layer
+// calls it without caring which it has.
+func (n *FullNode) ProofStats() proofs.Stats { return n.ProofEngine().Stats() }
+
+// TimeWindowParts answers a time-window query as a part list: the
+// unsharded node returns one part spanning the whole window. The
+// method exists so the service layer can serve monolithic and sharded
+// nodes through one interface; verifiers resolve the parts via
+// Verifier.VerifyWindowParts (identical to VerifyTimeWindow for a
+// single part).
+func (n *FullNode) TimeWindowParts(q Query, batched bool) ([]WindowPart, error) {
+	vo, err := n.SP(batched).TimeWindowQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return []WindowPart{{Start: q.StartBlock, End: q.EndBlock, VO: vo}}, nil
+}

@@ -239,9 +239,91 @@ func (v *Verifier) VerifyTimeWindow(q Query, vo *VO) ([]chain.Object, error) {
 		return nil, fmt.Errorf("%w: window end %d beyond synced headers (%d)",
 			ErrCompleteness, q.EndBlock, v.Light.Height())
 	}
-
 	cc := newCheckCollector(v.Acc)
+	results, err := v.collectWindow(q, cnf, vo, cc)
+	if err != nil {
+		return nil, err
+	}
+	// Phase 2: resolve every pending pairing check.
+	if err := v.flush(cc); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
 
+// WindowPart is one shard's share of a time-window answer: a VO
+// covering the contiguous height span [Start, End] of the original
+// window. A sharded SP returns the window as a slice of parts ordered
+// descending by height (matching the SP's end-to-start walk); the
+// parts tile the window exactly, so their concatenated block entries
+// are identical to the unsharded VO's.
+type WindowPart struct {
+	// Start and End bound this part's block span, inclusive.
+	Start, End int
+	// VO is the part's verification object, exactly as an unsharded SP
+	// would produce for the sub-window [Start, End].
+	VO *VO
+}
+
+// VerifyWindowParts checks a scatter-gathered time-window answer: the
+// parts must tile [q.StartBlock, q.EndBlock] contiguously in
+// descending order, and each part's VO must verify against its span.
+// All parts share one check collector, so every pending pairing check
+// across every shard's VO resolves in a single randomized
+// pairing-product flush — cross-shard verification costs one final
+// batch, not one per shard. A single part spanning the whole window is
+// exactly VerifyTimeWindow.
+func (v *Verifier) VerifyWindowParts(q Query, parts []WindowPart) ([]chain.Object, error) {
+	cnf, err := q.CNF()
+	if err != nil {
+		return nil, err
+	}
+	if q.EndBlock >= v.Light.Height() {
+		return nil, fmt.Errorf("%w: window end %d beyond synced headers (%d)",
+			ErrCompleteness, q.EndBlock, v.Light.Height())
+	}
+	cc := newCheckCollector(v.Acc)
+	var results []chain.Object
+	expect := q.EndBlock
+	for i, p := range parts {
+		if p.VO == nil {
+			return nil, fmt.Errorf("%w: window part %d without VO", ErrCompleteness, i)
+		}
+		if p.End != expect {
+			return nil, fmt.Errorf("%w: window part %d covers [%d,%d], expected end %d",
+				ErrCompleteness, i, p.Start, p.End, expect)
+		}
+		if p.Start < q.StartBlock || p.Start > p.End {
+			return nil, fmt.Errorf("%w: window part %d span [%d,%d] outside window [%d,%d]",
+				ErrCompleteness, i, p.Start, p.End, q.StartBlock, q.EndBlock)
+		}
+		sub := q
+		sub.StartBlock, sub.EndBlock = p.Start, p.End
+		objs, err := v.collectWindow(sub, cnf, p.VO, cc)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, objs...)
+		expect = p.Start - 1
+	}
+	if expect != q.StartBlock-1 {
+		return nil, fmt.Errorf("%w: window parts end at height %d but window starts at %d",
+			ErrCompleteness, expect+1, q.StartBlock)
+	}
+	// One flush for the union: a single randomized pairing-product
+	// batch settles every shard's deferred checks together.
+	if err := v.flush(cc); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// collectWindow is the structural phase of time-window verification:
+// it replays hashes, clause membership, and result predicates for the
+// window [q.StartBlock, q.EndBlock], deferring every pairing check
+// into cc. Callers validate the query and flush the collector; sharing
+// one collector across calls merges multiple VOs into one batch.
+func (v *Verifier) collectWindow(q Query, cnf CNF, vo *VO, cc *checkCollector) ([]chain.Object, error) {
 	// Batched groups: collect member digests during traversal, verify
 	// each group once at the end.
 	groupDigests := make([][]accumulator.Acc, len(vo.Groups))
@@ -307,11 +389,6 @@ func (v *Verifier) VerifyTimeWindow(q Query, vo *VO) ([]chain.Object, error) {
 		}
 		cc.add(sum, clAcc, g.Proof,
 			fmt.Errorf("%w: batched disjointness proof for group %d rejected", ErrSoundness, gi))
-	}
-
-	// Phase 2: resolve every pending pairing check.
-	if err := v.flush(cc); err != nil {
-		return nil, err
 	}
 	return results, nil
 }

@@ -47,7 +47,36 @@ type Options struct {
 	// CacheSize bounds the LRU proof cache: 0 means DefaultCacheSize,
 	// negative disables caching entirely.
 	CacheSize int
+	// Limiter, when set, replaces the engine's private concurrency
+	// bound: every engine sharing one Limiter splits its budget instead
+	// of multiplying it. A sharded SP hands the same Limiter to all of
+	// its per-shard engines so N shards in one process still compute at
+	// most the configured number of proofs at once. Nil keeps the
+	// historical behavior: a private bound of max(Workers, GOMAXPROCS).
+	Limiter *Limiter
 }
+
+// Limiter is a concurrency budget for proof computation, shareable
+// across engines. It bounds ProveDisjoint calls in flight across every
+// engine created with it.
+type Limiter struct {
+	sem chan struct{}
+}
+
+// NewLimiter creates a budget of n concurrent proof computations
+// (minimum 1).
+func NewLimiter(n int) *Limiter {
+	if n < 1 {
+		n = 1
+	}
+	return &Limiter{sem: make(chan struct{}, n)}
+}
+
+// Cap returns the budget.
+func (l *Limiter) Cap() int { return cap(l.sem) }
+
+func (l *Limiter) acquire() { l.sem <- struct{}{} }
+func (l *Limiter) release() { <-l.sem }
 
 // Stats is a point-in-time snapshot of engine counters.
 type Stats struct {
@@ -78,6 +107,20 @@ func (s Stats) HitRate() float64 {
 	return float64(s.CacheHits) / float64(total)
 }
 
+// Add returns the counter-wise sum of s and o. A sharded deployment
+// runs one engine per shard; summing their snapshots yields the
+// process-wide view a CLI or dashboard should report.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Proofs:      s.Proofs + o.Proofs,
+		CacheHits:   s.CacheHits + o.CacheHits,
+		CacheMisses: s.CacheMisses + o.CacheMisses,
+		Evictions:   s.Evictions + o.Evictions,
+		AggGroups:   s.AggGroups + o.AggGroups,
+		Errors:      s.Errors + o.Errors,
+	}
+}
+
 // Engine computes, caches, and aggregates disjointness proofs on
 // behalf of every proof consumer of one deployment.
 type Engine struct {
@@ -85,12 +128,14 @@ type Engine struct {
 	workers   int
 	cacheSize int
 
-	// sem bounds proof computations in flight across all concurrent
-	// runs sharing this engine — capacity max(Workers, GOMAXPROCS) —
-	// so stacking runs (e.g. many subscription blocks at once) cannot
-	// oversubscribe the host, while per-run worker counts above the
-	// engine default still parallelize up to the hardware.
-	sem chan struct{}
+	// lim bounds proof computations in flight across all concurrent
+	// runs using this engine — and, when Options.Limiter was supplied,
+	// across every engine sharing that limiter — so stacking runs (or
+	// stacking shard engines) cannot oversubscribe the host. A private
+	// limiter has capacity max(Workers, GOMAXPROCS), keeping per-run
+	// worker counts above the engine default able to parallelize up to
+	// the hardware.
+	lim *Limiter
 
 	mu       sync.Mutex
 	lru      *list.List // of *cacheEntry, most recent first
@@ -129,15 +174,19 @@ func New(acc accumulator.Accumulator, opts Options) *Engine {
 	if size == 0 {
 		size = DefaultCacheSize
 	}
-	maxConc := workers
-	if n := runtime.GOMAXPROCS(0); n > maxConc {
-		maxConc = n
+	lim := opts.Limiter
+	if lim == nil {
+		maxConc := workers
+		if n := runtime.GOMAXPROCS(0); n > maxConc {
+			maxConc = n
+		}
+		lim = NewLimiter(maxConc)
 	}
 	return &Engine{
 		acc:       acc,
 		workers:   workers,
 		cacheSize: size,
-		sem:       make(chan struct{}, maxConc),
+		lim:       lim,
 		lru:       list.New(),
 		items:     map[cacheKey]*list.Element{},
 		inflight:  map[cacheKey]*flight{},
@@ -210,9 +259,9 @@ func (e *Engine) Prove(w multiset.Multiset, clauseKey string, clauseW multiset.M
 // compute runs the accumulator proof under the concurrency bound and
 // updates the computation counters.
 func (e *Engine) compute(w, clauseW multiset.Multiset) (accumulator.Proof, error) {
-	e.sem <- struct{}{}
+	e.lim.acquire()
 	pf, err := e.acc.ProveDisjoint(w, clauseW)
-	<-e.sem
+	e.lim.release()
 	e.mu.Lock()
 	e.stats.Proofs++
 	if err != nil {

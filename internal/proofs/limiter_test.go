@@ -1,0 +1,90 @@
+package proofs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/vchain-go/vchain/internal/accumulator"
+	"github.com/vchain-go/vchain/internal/multiset"
+)
+
+// countingAcc wraps an accumulator and records how many ProveDisjoint
+// calls run at once — the observable the shared limiter must bound.
+type countingAcc struct {
+	accumulator.Accumulator
+	inFlight atomic.Int64
+	max      atomic.Int64
+}
+
+func (c *countingAcc) ProveDisjoint(x1, x2 multiset.Multiset) (accumulator.Proof, error) {
+	n := c.inFlight.Add(1)
+	for {
+		m := c.max.Load()
+		if n <= m || c.max.CompareAndSwap(m, n) {
+			break
+		}
+	}
+	defer c.inFlight.Add(-1)
+	return c.Accumulator.ProveDisjoint(x1, x2)
+}
+
+// TestSharedLimiterSplitsBudget runs several engines sharing one
+// Limiter — the sharded-SP configuration — and checks the aggregate
+// proof concurrency never exceeds the configured budget. Before the
+// shared limiter, N shard engines each sized their own semaphore at
+// Workers, oversubscribing the host by a factor of N.
+func TestSharedLimiterSplitsBudget(t *testing.T) {
+	const budget = 2
+	acc := &countingAcc{Accumulator: testAcc(t)}
+	lim := NewLimiter(budget)
+	if lim.Cap() != budget {
+		t.Fatalf("limiter cap %d, want %d", lim.Cap(), budget)
+	}
+
+	engines := make([]*Engine, 3)
+	for i := range engines {
+		// Workers is deliberately larger than the budget: the explicit
+		// limiter, not the per-engine worker count, must govern.
+		engines[i] = New(acc, Options{Workers: 4, CacheSize: -1, Limiter: lim})
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := engines[i%len(engines)]
+			w := multiset.New(fmt.Sprintf("elt%d", i)) // distinct pairs: no single-flight dedupe
+			cw := multiset.New("van")
+			if _, err := e.Prove(w, key("van"), cw); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := acc.max.Load(); got > budget {
+		t.Fatalf("observed %d concurrent proofs across shared engines, budget is %d", got, budget)
+	}
+	var total Stats
+	for _, e := range engines {
+		total = total.Add(e.Stats())
+	}
+	if total.Proofs != 24 {
+		t.Fatalf("aggregated %d proofs across engines, want 24", total.Proofs)
+	}
+}
+
+// TestStatsAdd checks the aggregation used by sharded shutdown
+// reporting sums every counter.
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Proofs: 1, CacheHits: 2, CacheMisses: 3, Evictions: 4, AggGroups: 5, Errors: 6}
+	b := Stats{Proofs: 10, CacheHits: 20, CacheMisses: 30, Evictions: 40, AggGroups: 50, Errors: 60}
+	want := Stats{Proofs: 11, CacheHits: 22, CacheMisses: 33, Evictions: 44, AggGroups: 55, Errors: 66}
+	if got := a.Add(b); got != want {
+		t.Fatalf("Stats.Add = %+v, want %+v", got, want)
+	}
+}

@@ -274,30 +274,56 @@ func (c *Client) SyncHeaders(light *chain.LightStore) error {
 }
 
 // Query runs a remote time-window query and returns the (unverified)
-// VO; the caller must verify it with a core.Verifier.
+// VO; the caller must verify it with a core.Verifier. Against a
+// sharded SP whose answer crossed shards, the response has no single
+// VO — use QueryParts.
 func (c *Client) Query(q core.Query, batched bool) (*core.VO, error) {
 	resp, err := c.roundTrip(&Request{Kind: "query", Query: q, Batched: batched})
 	if err != nil {
 		return nil, err
 	}
 	if resp.VO == nil {
+		if len(resp.Parts) > 0 {
+			return nil, errors.New("service: SP returned a sharded multi-part answer; use QueryParts")
+		}
 		return nil, errors.New("service: SP returned no VO")
 	}
 	return resp.VO, nil
 }
 
-// QueryVerified runs a remote time-window query and verifies the VO
-// locally with the supplied verifier before returning the results —
-// the one-call path a light client actually wants. The returned
-// objects carry the full soundness/completeness guarantee; any SP
-// misbehavior surfaces as the verifier's error. The verifier defaults
-// to the batched engine; set ver.Sequential for the baseline.
-func (c *Client) QueryVerified(q core.Query, batched bool, ver *core.Verifier) ([]chain.Object, error) {
-	vo, err := c.Query(q, batched)
+// QueryParts runs a remote time-window query and returns the
+// (unverified) answer as window parts: one part spanning the whole
+// window from an unsharded SP, one per covering shard from a sharded
+// one. Verify with core.Verifier.VerifyWindowParts, which settles the
+// union in a single pairing-product batch.
+func (c *Client) QueryParts(q core.Query, batched bool) ([]core.WindowPart, error) {
+	resp, err := c.roundTrip(&Request{Kind: "query", Query: q, Batched: batched})
 	if err != nil {
 		return nil, err
 	}
-	return ver.VerifyTimeWindow(q, vo)
+	if len(resp.Parts) > 0 {
+		return resp.Parts, nil
+	}
+	if resp.VO == nil {
+		return nil, errors.New("service: SP returned no VO")
+	}
+	return []core.WindowPart{{Start: q.StartBlock, End: q.EndBlock, VO: resp.VO}}, nil
+}
+
+// QueryVerified runs a remote time-window query and verifies the
+// answer locally with the supplied verifier before returning the
+// results — the one-call path a light client actually wants. It
+// accepts both answer shapes (single VO and sharded parts); either
+// way every pending pairing check resolves in one batched flush. The
+// returned objects carry the full soundness/completeness guarantee;
+// any SP misbehavior surfaces as the verifier's error. The verifier
+// defaults to the batched engine; set ver.Sequential for the baseline.
+func (c *Client) QueryVerified(q core.Query, batched bool, ver *core.Verifier) ([]chain.Object, error) {
+	parts, err := c.QueryParts(q, batched)
+	if err != nil {
+		return nil, err
+	}
+	return ver.VerifyWindowParts(q, parts)
 }
 
 // Stats fetches the SP's proof-engine counters (proofs computed,

@@ -7,7 +7,6 @@ import (
 	"sync"
 	"time"
 
-	"github.com/vchain-go/vchain/internal/core"
 	"github.com/vchain-go/vchain/internal/subscribe"
 )
 
@@ -46,10 +45,11 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	return c
 }
 
-// Server serves one full node's chain: time-window queries,
-// header sync, and streaming subscriptions.
+// Server serves one node's chain — monolithic or sharded — over the
+// wire protocol: time-window queries, header sync, and streaming
+// subscriptions.
 type Server struct {
-	node   *core.FullNode
+	node   Chain
 	cfg    ServerConfig
 	engine *subscribe.Engine
 
@@ -66,9 +66,10 @@ type Server struct {
 	tamperPub func(*subscribe.Publication) *subscribe.Publication
 }
 
-// NewServer wraps a full node. An optional ServerConfig tunes frame
-// caps, queue sizes, and the subscription engine.
-func NewServer(node *core.FullNode, cfg ...ServerConfig) *Server {
+// NewServer wraps a node (a core.FullNode or a shard.Node). An
+// optional ServerConfig tunes frame caps, queue sizes, and the
+// subscription engine.
+func NewServer(node Chain, cfg ...ServerConfig) *Server {
 	var c ServerConfig
 	if len(cfg) > 0 {
 		c = cfg[0]
@@ -79,12 +80,12 @@ func NewServer(node *core.FullNode, cfg ...ServerConfig) *Server {
 		subOpts.Proofs = node.ProofEngine()
 	}
 	if subOpts.Width <= 0 {
-		subOpts.Width = node.Builder.Width
+		subOpts.Width = node.BitWidth()
 	}
 	return &Server{
 		node:     node,
 		cfg:      c,
-		engine:   subscribe.NewEngine(node.Builder.Acc, subOpts),
+		engine:   subscribe.NewEngine(node.Acc(), subOpts),
 		conns:    map[*serverConn]struct{}{},
 		subOwner: map[int]*serverConn{},
 	}
@@ -290,7 +291,7 @@ func (sc *serverConn) process(req *Request) *Response {
 	s := sc.srv
 	switch req.Kind {
 	case "headers":
-		all := s.node.Store.Headers()
+		all := s.node.Headers()
 		if req.FromHeight < 0 || req.FromHeight > len(all) {
 			return &Response{Err: fmt.Sprintf("bad FromHeight %d", req.FromHeight)}
 		}
@@ -303,13 +304,19 @@ func (sc *serverConn) process(req *Request) *Response {
 		}
 		return &Response{Headers: batch}
 	case "query":
-		vo, err := s.node.SP(req.Batched).TimeWindowQuery(req.Query)
+		parts, err := s.node.TimeWindowParts(req.Query, req.Batched)
 		if err != nil {
 			return &Response{Err: err.Error()}
 		}
-		return &Response{VO: vo}
+		// A whole-window single part rides the legacy VO field, so
+		// pre-shard clients keep working against any server; a genuine
+		// multi-part answer needs a parts-aware client.
+		if len(parts) == 1 && parts[0].Start == req.Query.StartBlock && parts[0].End == req.Query.EndBlock {
+			return &Response{VO: parts[0].VO}
+		}
+		return &Response{Parts: parts}
 	case "stats":
-		st := s.node.ProofEngine().Stats()
+		st := s.node.ProofStats()
 		return &Response{Stats: &st}
 	case "subscribe":
 		// Register and record ownership under one lock so a block

@@ -20,11 +20,37 @@
 package service
 
 import (
+	"github.com/vchain-go/vchain/internal/accumulator"
 	"github.com/vchain-go/vchain/internal/chain"
 	"github.com/vchain-go/vchain/internal/core"
 	"github.com/vchain-go/vchain/internal/proofs"
 	"github.com/vchain-go/vchain/internal/subscribe"
 )
+
+// Chain is what the server serves: a monolithic core.FullNode or a
+// sharded shard.Node, indistinguishable to the wire protocol. The
+// embedded ChainView feeds the subscription engine (publications are
+// sourced from the owning shard via ADSAt); TimeWindowParts is the
+// query entry point — an unsharded node answers with one part, a
+// sharded node with one part per covering shard, and the client
+// verifies either shape through Verifier.VerifyWindowParts.
+type Chain interface {
+	core.ChainView
+	// Headers returns every block header.
+	Headers() []chain.Header
+	// TimeWindowParts answers a time-window query as a descending
+	// part list tiling the window.
+	TimeWindowParts(q core.Query, batched bool) ([]core.WindowPart, error)
+	// Acc exposes the accumulator public part.
+	Acc() accumulator.Accumulator
+	// BitWidth is the numeric attribute width of the deployment.
+	BitWidth() int
+	// ProofEngine is the engine backing the subscription engine.
+	ProofEngine() *proofs.Engine
+	// ProofStats aggregates proof counters across the whole node
+	// (every shard engine on a sharded node).
+	ProofStats() proofs.Stats
+}
 
 // Request is a client → SP message.
 type Request struct {
@@ -56,8 +82,15 @@ type Response struct {
 	Err string
 	// Headers answers a headers request.
 	Headers []chain.Header
-	// VO answers a query request.
+	// VO answers a query request served by a single VO spanning the
+	// whole window (every pre-shard SP, and a sharded SP whose window
+	// fits one shard).
 	VO *core.VO
+	// Parts answers a query request served by a sharded SP whose
+	// window crossed shards: the per-shard VOs, descending, tiling the
+	// window. Exactly one of VO and Parts is set on a successful query
+	// response.
+	Parts []core.WindowPart
 	// Stats answers a stats request with the SP's proof-engine
 	// counters.
 	Stats *proofs.Stats

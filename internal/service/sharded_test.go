@@ -1,0 +1,127 @@
+package service
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/vchain-go/vchain/internal/accumulator"
+	"github.com/vchain-go/vchain/internal/chain"
+	"github.com/vchain-go/vchain/internal/core"
+	"github.com/vchain-go/vchain/internal/pairingtest"
+	"github.com/vchain-go/vchain/internal/shard"
+)
+
+// startShardedServer serves a 2-shard node whose bands are small enough
+// that any multi-block window crosses a shard boundary.
+func startShardedServer(t *testing.T) (string, accumulator.Accumulator) {
+	t.Helper()
+	acc := accumulator.KeyGenCon2Deterministic(pairingtest.Params(), 512, accumulator.HashEncoder{Q: 512}, []byte("svc"))
+	b := &core.Builder{Acc: acc, Mode: core.ModeIntra, Width: 4}
+	node := shard.New(0, b, shard.Options{Shards: 2, Band: 1, Workers: 2})
+	for i := 0; i < 4; i++ {
+		objs := []chain.Object{
+			{ID: chain.ObjectID(i*10 + 1), TS: int64(i), V: []int64{4}, W: []string{"sedan", "benz"}},
+			{ID: chain.ObjectID(i*10 + 2), TS: int64(i), V: []int64{9}, W: []string{"van", "audi"}},
+		}
+		if _, err := node.MineBlock(objs, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := NewServer(node)
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); node.Close() })
+	return addr, acc
+}
+
+func shardedLight(t *testing.T, cli *Client) *chain.LightStore {
+	t.Helper()
+	headers, err := cli.Headers(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	light := chain.NewLightStore(0)
+	if err := light.Sync(headers); err != nil {
+		t.Fatal(err)
+	}
+	return light
+}
+
+// TestRemoteShardedQueryParts round-trips a cross-shard window over the
+// wire: the response carries multiple parts, the legacy single-VO Query
+// refuses it, and the union verifies in one batch client-side.
+func TestRemoteShardedQueryParts(t *testing.T) {
+	addr, acc := startShardedServer(t)
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	light := shardedLight(t, cli)
+
+	q := core.Query{StartBlock: 0, EndBlock: 3, Bool: core.CNF{core.KeywordClause("sedan")}, Width: 4}
+	parts, err := cli.QueryParts(q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) < 2 {
+		t.Fatalf("cross-shard window answered in %d part(s), want >= 2", len(parts))
+	}
+	results, err := (&core.Verifier{Acc: acc, Light: light}).VerifyWindowParts(q, parts)
+	if err != nil {
+		t.Fatalf("remote sharded VO failed union verification: %v", err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results %d, want 4", len(results))
+	}
+
+	// The legacy single-VO accessor must not silently drop parts.
+	if _, err := cli.Query(q, false); err == nil || !strings.Contains(err.Error(), "QueryParts") {
+		t.Fatalf("legacy Query on a multi-part answer: err = %v, want a QueryParts redirect", err)
+	}
+}
+
+// TestRemoteShardedSingleShardWindow checks wire back-compat: a window
+// inside one shard band comes back as a plain single VO, so unsharded
+// clients keep working against a sharded SP.
+func TestRemoteShardedSingleShardWindow(t *testing.T) {
+	addr, acc := startShardedServer(t)
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	light := shardedLight(t, cli)
+
+	q := core.Query{StartBlock: 2, EndBlock: 2, Bool: core.CNF{core.KeywordClause("sedan")}, Width: 4}
+	vo, err := cli.Query(q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&core.Verifier{Acc: acc, Light: light}).VerifyTimeWindow(q, vo); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemoteShardedQueryVerified uses the one-call verified path
+// (QueryParts + VerifyWindowParts under the hood) with batched proofs.
+func TestRemoteShardedQueryVerified(t *testing.T) {
+	addr, acc := startShardedServer(t)
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	light := shardedLight(t, cli)
+
+	q := core.Query{StartBlock: 0, EndBlock: 3, Bool: core.CNF{core.KeywordClause("sedan")}, Width: 4}
+	results, err := cli.QueryVerified(q, true, &core.Verifier{Acc: acc, Light: light})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results %d, want 4", len(results))
+	}
+}

@@ -1,0 +1,102 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/vchain-go/vchain/internal/core"
+)
+
+// span is one maximal run of consecutive heights owned by a single
+// shard, inside a query window.
+type span struct {
+	owner      int
+	start, end int
+}
+
+// spans slices the window [start, end] into per-shard spans, ordered
+// descending by height (matching the SP's end-to-start walk). Adjacent
+// bands with the same owner merge into one span, so a single-shard
+// node plans exactly one span per window.
+func (n *Node) spans(start, end int) []span {
+	var out []span
+	h := end
+	for h >= start {
+		o := n.owner(h)
+		lo := (h / n.opts.Band) * n.opts.Band
+		if lo < start {
+			lo = start
+		}
+		if len(out) > 0 && out[len(out)-1].owner == o {
+			out[len(out)-1].start = lo
+		} else {
+			out = append(out, span{owner: o, start: lo, end: h})
+		}
+		h = lo - 1
+	}
+	return out
+}
+
+// TimeWindowParts answers a time-window query by scatter-gather: the
+// planner slices the window into per-shard spans, fans the sub-queries
+// out to the owning shards in parallel (each shard proving on its own
+// engine, all drawing from the shared worker budget), and returns the
+// per-span VOs as parts ordered descending by height. The parts tile
+// the window exactly; Verifier.VerifyWindowParts resolves their union
+// through one randomized pairing-product batch, and the merged result
+// set is byte-identical to the unsharded SP's (skips only ever elide
+// result-free blocks).
+func (n *Node) TimeWindowParts(q core.Query, batched bool) ([]core.WindowPart, error) {
+	if _, err := q.CNF(); err != nil {
+		return nil, err
+	}
+	if q.StartBlock < 0 || q.EndBlock < q.StartBlock {
+		return nil, fmt.Errorf("shard: invalid block window [%d, %d]", q.StartBlock, q.EndBlock)
+	}
+	if q.EndBlock >= n.store.Height() {
+		return nil, fmt.Errorf("shard: window end %d beyond chain height %d", q.EndBlock, n.store.Height())
+	}
+
+	plan := n.spans(q.StartBlock, q.EndBlock)
+	parts := make([]core.WindowPart, len(plan))
+
+	// Group the plan by owner: one goroutine per covering shard, each
+	// working through its spans sequentially on its own engine.
+	byOwner := make(map[int][]int)
+	for i, s := range plan {
+		byOwner[s.owner] = append(byOwner[s.owner], i)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for owner, idxs := range byOwner {
+		w := n.shards[owner]
+		wg.Add(1)
+		go func(w *worker, idxs []int) {
+			defer wg.Done()
+			sp := &core.SP{Acc: n.builder.Acc, View: n, Batch: batched, Engine: w.engine}
+			for _, i := range idxs {
+				sub := q
+				sub.StartBlock, sub.EndBlock = plan[i].start, plan[i].end
+				vo, err := sp.TimeWindowQuery(sub)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("shard %d: span [%d,%d]: %w", w.id, sub.StartBlock, sub.EndBlock, err)
+					}
+					errMu.Unlock()
+					return
+				}
+				parts[i] = core.WindowPart{Start: sub.StartBlock, End: sub.EndBlock, VO: vo}
+			}
+		}(w, idxs)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return parts, nil
+}

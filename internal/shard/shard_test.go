@@ -1,0 +1,386 @@
+package shard_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/vchain-go/vchain/internal/accumulator"
+	"github.com/vchain-go/vchain/internal/chain"
+	"github.com/vchain-go/vchain/internal/core"
+	"github.com/vchain-go/vchain/internal/pairingtest"
+	"github.com/vchain-go/vchain/internal/shard"
+)
+
+const testWidth = 4
+
+func testAcc(t testing.TB) accumulator.Accumulator {
+	t.Helper()
+	pr := pairingtest.Params()
+	return accumulator.KeyGenCon2Deterministic(pr, 512, accumulator.HashEncoder{Q: 512}, []byte("shard"))
+}
+
+func testBuilder(acc accumulator.Accumulator) *core.Builder {
+	return &core.Builder{Acc: acc, Mode: core.ModeBoth, SkipSize: 2, Width: testWidth}
+}
+
+// carObjects mirrors the core e2e fixture: four rental cars per block.
+func carObjects(base uint64) []chain.Object {
+	return []chain.Object{
+		{ID: chain.ObjectID(base + 1), TS: int64(base), V: []int64{3}, W: []string{"sedan", "benz"}},
+		{ID: chain.ObjectID(base + 2), TS: int64(base), V: []int64{5}, W: []string{"sedan", "audi"}},
+		{ID: chain.ObjectID(base + 3), TS: int64(base), V: []int64{7}, W: []string{"van", "benz"}},
+		{ID: chain.ObjectID(base + 4), TS: int64(base), V: []int64{9}, W: []string{"van", "bmw"}},
+	}
+}
+
+func mineBlocks(t testing.TB, n interface {
+	MineBlock([]chain.Object, int64) (*chain.Block, error)
+}, blocks int) {
+	t.Helper()
+	for i := 0; i < blocks; i++ {
+		if _, err := n.MineBlock(carObjects(uint64(i*10)), int64(1000+i)); err != nil {
+			t.Fatalf("mining block %d: %v", i, err)
+		}
+	}
+}
+
+func sedanBenzQuery(start, end int) core.Query {
+	return core.Query{
+		StartBlock: start,
+		EndBlock:   end,
+		Bool:       core.CNF{core.KeywordClause("sedan"), core.KeywordClause("benz", "bmw")},
+		Width:      testWidth,
+	}
+}
+
+func lightFor(t testing.TB, headers []chain.Header) *chain.LightStore {
+	t.Helper()
+	light := chain.NewLightStore(0)
+	if err := light.Sync(headers); err != nil {
+		t.Fatal(err)
+	}
+	return light
+}
+
+// TestShardedMatchesUnsharded mines the same chain into a monolithic
+// node and sharded nodes of several counts, then checks that every
+// window — including windows straddling two or more shard boundaries —
+// yields byte-identical results, and that the merged parts verify
+// through the single-batch union path.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	acc := testAcc(t)
+	const blocks = 12
+
+	mono := core.NewFullNode(0, testBuilder(acc))
+	mineBlocks(t, mono, blocks)
+	light := lightFor(t, mono.Store.Headers())
+	ver := &core.Verifier{Acc: acc, Light: light}
+
+	windows := [][2]int{
+		{0, blocks - 1}, // full window: every shard covered
+		{1, 7},          // straddles the band boundaries at 2/4/6
+		{3, 4},          // exactly one boundary
+		{5, 5},          // single block, single shard
+	}
+
+	for _, shards := range []int{1, 2, 3, 4} {
+		node := shard.New(0, testBuilder(acc), shard.Options{Shards: shards, Band: 2, Workers: shards})
+		mineBlocks(t, node, blocks)
+		if got, want := node.Headers(), mono.Store.Headers(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%d shards: headers diverge from the monolithic chain", shards)
+		}
+		for _, w := range windows {
+			q := sedanBenzQuery(w[0], w[1])
+			wantVO, err := mono.SP(false).TimeWindowQuery(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ver.VerifyTimeWindow(q, wantVO)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parts, err := node.TimeWindowParts(q, false)
+			if err != nil {
+				t.Fatalf("%d shards window %v: %v", shards, w, err)
+			}
+			got, err := ver.VerifyWindowParts(q, parts)
+			if err != nil {
+				t.Fatalf("%d shards window %v: union verification: %v", shards, w, err)
+			}
+			if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
+				t.Fatalf("%d shards window %v: results diverge\n got %v\nwant %v", shards, w, got, want)
+			}
+			// The parts must tile the window descending with no gaps.
+			expect := w[1]
+			for _, p := range parts {
+				if p.End != expect {
+					t.Fatalf("%d shards window %v: part covers [%d,%d], expected end %d", shards, w, p.Start, p.End, expect)
+				}
+				expect = p.Start - 1
+			}
+			if expect != w[0]-1 {
+				t.Fatalf("%d shards window %v: parts stop at %d", shards, w, expect+1)
+			}
+		}
+		node.Close()
+	}
+}
+
+// TestShardedBatchedParts runs the union path with online batch
+// verification (§6.3) enabled per shard.
+func TestShardedBatchedParts(t *testing.T) {
+	acc := testAcc(t)
+	const blocks = 8
+	node := shard.New(0, testBuilder(acc), shard.Options{Shards: 2, Band: 2, Workers: 2})
+	mineBlocks(t, node, blocks)
+	light := lightFor(t, node.Headers())
+	ver := &core.Verifier{Acc: acc, Light: light}
+
+	q := sedanBenzQuery(0, blocks-1)
+	parts, err := node.TimeWindowParts(q, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) < 2 {
+		t.Fatalf("full window over 2 shards planned %d part(s), want >= 2", len(parts))
+	}
+	if _, err := ver.VerifyWindowParts(q, parts); err != nil {
+		t.Fatalf("batched union verification: %v", err)
+	}
+	defer node.Close()
+}
+
+// TestConcurrentMineAndQueryShards hammers a sharded node with
+// concurrent miners and cross-shard readers; run under -race it checks
+// the router's single-lock commit discipline (a reader can never see
+// the height advanced without the owning shard's ADS published).
+func TestConcurrentMineAndQueryShards(t *testing.T) {
+	acc := testAcc(t)
+	node := shard.New(0, testBuilder(acc), shard.Options{Shards: 3, Band: 2, Workers: 3})
+	mineBlocks(t, node, 4) // pre-mine so readers always have a window
+	defer node.Close()
+
+	const extra = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			light := chain.NewLightStore(0)
+			ver := &core.Verifier{Acc: acc, Light: light}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				headers := node.Headers()
+				if err := light.Sync(headers[light.Height():]); err != nil {
+					t.Error(err)
+					return
+				}
+				q := sedanBenzQuery(0, light.Height()-1)
+				parts, err := node.TimeWindowParts(q, false)
+				if err != nil {
+					// The chain may have grown past the synced headers
+					// between Sync and the query; that is the only
+					// acceptable failure.
+					t.Error(err)
+					return
+				}
+				if _, err := ver.VerifyWindowParts(q, parts); err != nil {
+					t.Errorf("concurrent union verification: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < extra; i++ {
+			if _, err := node.MineBlock(carObjects(uint64(1000+i*10)), int64(5000+i)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if got := node.Height(); got != 4+extra {
+		t.Fatalf("height %d after concurrent mining, want %d", got, 4+extra)
+	}
+}
+
+// lastSegment returns the lexically last segment file in a shard's
+// subdirectory.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".vseg") {
+			last = filepath.Join(dir, e.Name())
+		}
+	}
+	if last == "" {
+		t.Fatalf("no segment files in %s", dir)
+	}
+	return last
+}
+
+// TestReopenTornTail crashes one shard mid-write (a truncated final
+// record) and reopens: that shard's recovery report must surface the
+// torn tail, the other shards must stay intact (merely truncating the
+// records stranded above the restored height), and mining must resume.
+func TestReopenTornTail(t *testing.T) {
+	acc := testAcc(t)
+	dir := t.TempDir()
+	opts := shard.Options{Shards: 3, Band: 1, Workers: 3}
+
+	node, rep, err := shard.Open(0, testBuilder(acc), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Blocks != 0 {
+		t.Fatalf("fresh store restored %d blocks", rep.Blocks)
+	}
+	const blocks = 9 // band 1, 3 shards: shard i owns heights i, i+3, i+6
+	mineBlocks(t, node, blocks)
+	node.Close()
+
+	// Tear shard 1's tail: its last record (height 7) is cut short.
+	torn := lastSegment(t, filepath.Join(dir, "shard-001"))
+	st, err := os.Stat(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(torn, st.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	node, rep, err = shard.Open(0, testBuilder(acc), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	// Shard 1 now holds heights {1, 4}: the chain is whole up to 6 and
+	// stops there. Shard 2's height-8 record is stranded and dropped.
+	if rep.Blocks != 7 {
+		t.Fatalf("restored %d blocks, want 7", rep.Blocks)
+	}
+	if !rep.Shards[1].Log.Truncated {
+		t.Fatalf("shard 1 report %+v, want a torn-tail truncation", rep.Shards[1])
+	}
+	if rep.Shards[0].Log.Truncated || rep.Shards[2].Log.Truncated {
+		t.Fatalf("healthy shards report truncation: %+v", rep.Shards)
+	}
+	if rep.Shards[2].Dropped != 1 {
+		t.Fatalf("shard 2 dropped %d stranded records, want 1", rep.Shards[2].Dropped)
+	}
+	if got := node.Height(); got != 7 {
+		t.Fatalf("reopened height %d, want 7", got)
+	}
+
+	// The restored chain still answers verifiable queries...
+	light := lightFor(t, node.Headers())
+	ver := &core.Verifier{Acc: acc, Light: light}
+	q := sedanBenzQuery(0, 6)
+	parts, err := node.TimeWindowParts(q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ver.VerifyWindowParts(q, parts); err != nil {
+		t.Fatalf("post-recovery verification: %v", err)
+	}
+	// ...and mining resumes from the recovered height.
+	if _, err := node.MineBlock(carObjects(12345), 9999); err != nil {
+		t.Fatalf("mining after recovery: %v", err)
+	}
+	if got := node.Height(); got != 8 {
+		t.Fatalf("height %d after post-recovery mine, want 8", got)
+	}
+}
+
+// TestReopenSurvivesRestart round-trips a sharded store cleanly and
+// checks the topology guard rejects a conflicting shard count.
+func TestReopenSurvivesRestart(t *testing.T) {
+	acc := testAcc(t)
+	dir := t.TempDir()
+	opts := shard.Options{Shards: 2, Band: 2, Workers: 2}
+
+	node, _, err := shard.Open(0, testBuilder(acc), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mineBlocks(t, node, 6)
+	headers := node.Headers()
+	node.Close()
+
+	node, rep, err := shard.Open(0, testBuilder(acc), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Blocks != 6 {
+		t.Fatalf("restored %d blocks, want 6", rep.Blocks)
+	}
+	if !reflect.DeepEqual(node.Headers(), headers) {
+		t.Fatal("reopened chain diverges")
+	}
+	node.Close()
+
+	if _, _, err := shard.Open(0, testBuilder(acc), dir, shard.Options{Shards: 4, Band: 2}); err == nil {
+		t.Fatal("conflicting shard count accepted")
+	} else if !strings.Contains(err.Error(), "topology") && !strings.Contains(err.Error(), "shards") {
+		t.Fatalf("unexpected topology error: %v", err)
+	}
+}
+
+// TestWindowPartsRejectsBadTiling feeds the union verifier parts with
+// gaps, overlaps, and wrong order: every shape must be rejected as a
+// completeness violation (an SP must not be able to silently omit a
+// sub-window).
+func TestWindowPartsRejectsBadTiling(t *testing.T) {
+	acc := testAcc(t)
+	const blocks = 8
+	node := shard.New(0, testBuilder(acc), shard.Options{Shards: 2, Band: 2, Workers: 2})
+	mineBlocks(t, node, blocks)
+	defer node.Close()
+	light := lightFor(t, node.Headers())
+	ver := &core.Verifier{Acc: acc, Light: light}
+
+	q := sedanBenzQuery(0, blocks-1)
+	parts, err := node.TimeWindowParts(q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) < 3 {
+		t.Fatalf("need >= 3 parts to mutate, got %d", len(parts))
+	}
+	if _, err := ver.VerifyWindowParts(q, parts); err != nil {
+		t.Fatalf("honest parts rejected: %v", err)
+	}
+
+	mutations := map[string][]core.WindowPart{
+		"dropped middle part": append(append([]core.WindowPart{}, parts[0]), parts[2:]...),
+		"reversed order":      {parts[1], parts[0]},
+		"duplicated part":     append(append([]core.WindowPart{}, parts[0], parts[0]), parts[1:]...),
+		"truncated tail":      parts[:len(parts)-1],
+		"nil VO":              {{Start: parts[0].Start, End: parts[0].End, VO: nil}},
+	}
+	for name, mutated := range mutations {
+		if _, err := ver.VerifyWindowParts(q, mutated); !errors.Is(err, core.ErrCompleteness) {
+			t.Errorf("%s: err = %v, want ErrCompleteness", name, err)
+		}
+	}
+}

@@ -209,13 +209,14 @@ func (n *FullNode) Unsubscribe(id int) *Publication {
 	return engine.Deregister(id)
 }
 
-// RemoteSP is a running TCP service endpoint for one full node:
-// header sync, verifiable queries, and streaming subscriptions for
-// remote light clients.
+// RemoteSP is a running TCP service endpoint for one node — monolithic
+// (FullNode.Serve) or sharded (ShardedNode.Serve): header sync,
+// verifiable queries, and streaming subscriptions for remote light
+// clients.
 type RemoteSP struct {
-	node *FullNode
-	srv  *service.Server
-	addr string
+	srv    *service.Server
+	addr   string
+	detach func()
 }
 
 // Addr returns the bound listen address.
@@ -228,11 +229,7 @@ func (r *RemoteSP) Evictions() int { return r.srv.Evictions() }
 // from the endpoint: mining stops fanning out to it and Serve may be
 // called again.
 func (r *RemoteSP) Close() error {
-	r.node.mu.Lock()
-	if r.node.srv == r.srv {
-		r.node.srv = nil
-	}
-	r.node.mu.Unlock()
+	r.detach()
 	return r.srv.Close()
 }
 
@@ -257,7 +254,14 @@ func (n *FullNode) Serve(addr string, opts SubscribeOptions) (*RemoteSP, error) 
 		return nil, err
 	}
 	n.srv = srv
-	return &RemoteSP{node: n, srv: srv, addr: bound}, nil
+	detach := func() {
+		n.mu.Lock()
+		if n.srv == srv {
+			n.srv = nil
+		}
+		n.mu.Unlock()
+	}
+	return &RemoteSP{srv: srv, addr: bound, detach: detach}, nil
 }
 
 // Internal accessors used by the service layer and benchmarks.

@@ -1,0 +1,183 @@
+package vchain
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/vchain-go/vchain/internal/chain"
+	"github.com/vchain-go/vchain/internal/core"
+	"github.com/vchain-go/vchain/internal/service"
+	"github.com/vchain-go/vchain/internal/shard"
+	"github.com/vchain-go/vchain/internal/subscribe"
+)
+
+// ShardedNode is a miner/SP partitioned by height range across shard
+// workers: each shard owns its own block store, proof engine, and
+// decoded ADSs, and every shard engine draws from one shared proof
+// worker budget (Config.SPWorkers split, not multiplied). Time-window
+// queries fan out to the covering shards in parallel and come back as
+// WindowParts whose union a light client settles in a single
+// pairing-product batch (LightClient.VerifyParts) — the results are
+// byte-identical to an unsharded node's.
+type ShardedNode struct {
+	sys      *System
+	node     *shard.Node
+	recovery *ShardRecovery
+
+	// mu guards the attached service endpoint.
+	mu  sync.Mutex
+	srv *service.Server
+}
+
+// shardOptions maps the system configuration onto shard options.
+func (s *System) shardOptions(shards int) shard.Options {
+	return shard.Options{
+		Shards:    shards,
+		Workers:   s.cfg.SPWorkers,
+		CacheSize: s.cfg.ProofCacheSize,
+	}
+}
+
+// NewShardedNode creates an in-memory sharded node (miner + SP) with
+// the given shard count (values < 1 mean 1): nothing survives the
+// process. Use OpenShardedNode for a node whose chain persists across
+// restarts.
+func (s *System) NewShardedNode(shards int) *ShardedNode {
+	node := shard.New(chain.Difficulty(s.cfg.Difficulty), s.builder(), s.shardOptions(shards))
+	return &ShardedNode{sys: s, node: node}
+}
+
+// OpenShardedNode opens (or creates) a durable sharded node rooted at
+// dir: one crash-safe segmented-log subdirectory per shard (each with
+// its own flock and torn-tail recovery) plus a topology record fixing
+// the partitioning. Reopening replays heights in order across the
+// shards; a shard whose tail was lost to a crash bounds the restored
+// chain and the other shards truncate their stranded records, so
+// mining resumes from a mutually consistent state. Passing shards <= 0
+// adopts the directory's recorded shard count; a conflicting explicit
+// count is an error. Inspect Recovery for the per-shard outcome. Call
+// Close when done with the node.
+func (s *System) OpenShardedNode(dir string, shards int) (*ShardedNode, error) {
+	node, report, err := shard.Open(chain.Difficulty(s.cfg.Difficulty), s.builder(), dir, s.shardOptions(shards))
+	if err != nil {
+		return nil, fmt.Errorf("vchain: opening sharded block store: %w", err)
+	}
+	return &ShardedNode{sys: s, node: node, recovery: report}, nil
+}
+
+// Recovery returns the reopen report (nil for in-memory nodes): chain
+// length restored plus each shard's torn-tail and stranded-record
+// counts.
+func (n *ShardedNode) Recovery() *ShardRecovery { return n.recovery }
+
+// Close releases every shard's block store. The node must not be used
+// afterwards.
+func (n *ShardedNode) Close() error { return n.node.Close() }
+
+// Mine appends a block of objects with the given timestamp: the block
+// commits atomically to its owning shard. Remote subscribers (via
+// Serve) are fanned out to on this path.
+func (n *ShardedNode) Mine(objs []Object, ts int64) (*Block, error) {
+	blk, err := n.node.MineBlock(objs, ts)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	srv := n.srv
+	n.mu.Unlock()
+	if srv != nil {
+		if err := srv.ProcessBlock(int(blk.Header.Height)); err != nil {
+			return nil, fmt.Errorf("vchain: remote subscriptions: %w", err)
+		}
+	}
+	return blk, nil
+}
+
+// Height returns the chain height.
+func (n *ShardedNode) Height() int { return n.node.Height() }
+
+// Shards returns the shard count.
+func (n *ShardedNode) Shards() int { return n.node.Shards() }
+
+// Headers returns all block headers (what light clients sync).
+func (n *ShardedNode) Headers() []Header { return n.node.Headers() }
+
+// BlockAt returns a block by height.
+func (n *ShardedNode) BlockAt(height int) (*Block, error) { return n.node.Store().BlockAt(height) }
+
+// TimeWindow answers a time-window query by scatter-gather across the
+// covering shards, returning the per-shard window parts (descending,
+// tiling the window). Verify with LightClient.VerifyParts; results are
+// embedded (WindowPart.VO.Results()).
+func (n *ShardedNode) TimeWindow(q Query) ([]WindowPart, error) {
+	return n.node.TimeWindowParts(q, false)
+}
+
+// TimeWindowBatched is TimeWindow with online batch verification
+// (§6.3) enabled per shard.
+func (n *ShardedNode) TimeWindowBatched(q Query) ([]WindowPart, error) {
+	return n.node.TimeWindowParts(q, true)
+}
+
+// WindowByTime resolves a timestamp window [ts, te] to block heights.
+func (n *ShardedNode) WindowByTime(ts, te int64) (start, end int, ok bool) {
+	return n.node.WindowByTime(ts, te)
+}
+
+// ProofStats aggregates proof-engine counters across every shard (plus
+// the router engine serving subscriptions).
+func (n *ShardedNode) ProofStats() ProofStats { return n.node.ProofStats() }
+
+// ShardStats snapshots each shard engine's counters, in shard order.
+func (n *ShardedNode) ShardStats() []ProofStats { return n.node.ShardStats() }
+
+// Serve exposes this node over TCP at addr ("127.0.0.1:0" picks a
+// port): remote light clients sync headers, run verifiable queries
+// (answered as window parts that verify in one batch), and register
+// streaming subscriptions whose publications are sourced from the
+// owning shard. A node serves at most one endpoint at a time.
+func (n *ShardedNode) Serve(addr string, opts SubscribeOptions) (*RemoteSP, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.srv != nil {
+		return nil, fmt.Errorf("vchain: node already serving")
+	}
+	o := opts.normalize()
+	srv := service.NewServer(n.node, service.ServerConfig{
+		Subscriptions: subscribe.Options{
+			UseIPTree:     o.UseIPTree,
+			Lazy:          o.Lazy,
+			LazyThreshold: o.LazyThreshold,
+			Dims:          o.Dims,
+			Width:         n.sys.cfg.BitWidth,
+			Proofs:        n.node.ProofEngine(),
+		},
+	})
+	bound, err := srv.Serve(addr)
+	if err != nil {
+		return nil, err
+	}
+	n.srv = srv
+	detach := func() {
+		n.mu.Lock()
+		if n.srv == srv {
+			n.srv = nil
+		}
+		n.mu.Unlock()
+	}
+	return &RemoteSP{srv: srv, addr: bound, detach: detach}, nil
+}
+
+// Core exposes the internal sharded node (service layer, benchmarks).
+func (n *ShardedNode) Core() *shard.Node { return n.node }
+
+// VerifyParts checks a scatter-gathered time-window answer — the parts
+// must tile the query window — and returns the verified result set.
+// Every shard's pending pairing checks resolve together in one
+// randomized pairing-product batch, so cross-shard verification costs
+// one final batch, not one per shard. A nil error certifies soundness
+// and completeness, exactly as Verify does for a single VO.
+func (c *LightClient) VerifyParts(q Query, parts []WindowPart) ([]Object, error) {
+	v := &core.Verifier{Acc: c.sys.acc, Light: c.light, Workers: c.sys.cfg.VerifyWorkers}
+	return v.VerifyWindowParts(q, parts)
+}

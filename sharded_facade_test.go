@@ -1,0 +1,134 @@
+package vchain
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeShardedEndToEnd(t *testing.T) {
+	sys := testSystem(t, "acc2", IndexBoth)
+	node := sys.NewShardedNode(2)
+	defer node.Close()
+	for i := 0; i < 6; i++ {
+		if _, err := node.Mine(carBlock(i), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if node.Shards() != 2 {
+		t.Fatalf("shards %d", node.Shards())
+	}
+	client := sys.NewLightClient()
+	if err := client.SyncHeaders(node.Headers()); err != nil {
+		t.Fatal(err)
+	}
+	q := Query{StartBlock: 0, EndBlock: 5, Bool: And(Or("sedan")), Width: 4}
+	parts, err := node.TimeWindow(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := client.VerifyParts(q, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("results %d, want 6", len(results))
+	}
+
+	// Batched variant.
+	parts, err = node.TimeWindowBatched(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.VerifyParts(q, parts); err != nil {
+		t.Fatal(err)
+	}
+
+	// A tampered part must fail, and a dropped part is incompleteness.
+	if len(parts) >= 2 {
+		if _, err := client.VerifyParts(q, parts[1:]); err == nil {
+			t.Fatal("dropped part accepted")
+		}
+	}
+	if st := node.ProofStats(); st.Proofs == 0 {
+		t.Error("aggregated proof stats empty")
+	}
+	if ss := node.ShardStats(); len(ss) != 2 {
+		t.Errorf("shard stats %d entries, want 2", len(ss))
+	}
+}
+
+func TestFacadeOpenShardedNode(t *testing.T) {
+	sys := testSystem(t, "acc2", IndexBoth)
+	dir := t.TempDir()
+	node, err := sys.OpenShardedNode(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := node.Mine(carBlock(i), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	headers := node.Headers()
+	if err := node.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen adopting the recorded topology (shards <= 0).
+	node, err = sys.OpenShardedNode(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if node.Shards() != 2 {
+		t.Fatalf("adopted %d shards, want 2", node.Shards())
+	}
+	rec := node.Recovery()
+	if rec == nil || rec.Blocks != 4 {
+		t.Fatalf("recovery %+v, want 4 blocks", rec)
+	}
+	if got := node.Headers(); len(got) != len(headers) {
+		t.Fatalf("reopened %d headers, want %d", len(got), len(headers))
+	}
+
+	// A conflicting explicit count is rejected.
+	if _, err := sys.OpenShardedNode(dir, 3); err == nil {
+		t.Fatal("conflicting shard count accepted")
+	} else if !strings.Contains(err.Error(), "sharded block store") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestFacadeShardedServe(t *testing.T) {
+	sys := testSystem(t, "acc2", IndexBoth)
+	node := sys.NewShardedNode(2)
+	defer node.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := node.Mine(carBlock(i), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sp, err := node.Serve("127.0.0.1:0", SubscribeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	if _, err := node.Serve("127.0.0.1:0", SubscribeOptions{}); err == nil {
+		t.Fatal("double serve accepted")
+	}
+
+	client := sys.NewLightClient()
+	cli, err := client.DialSP(sp.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	q := Query{StartBlock: 0, EndBlock: 3, Bool: And(Or("sedan")), Width: 4}
+	results, err := cli.Query(q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results %d, want 4", len(results))
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"github.com/vchain-go/vchain/internal/crypto/pairing"
 	"github.com/vchain-go/vchain/internal/proofs"
 	"github.com/vchain-go/vchain/internal/service"
+	"github.com/vchain-go/vchain/internal/shard"
 	"github.com/vchain-go/vchain/internal/subscribe"
 )
 
@@ -61,6 +62,16 @@ type (
 	CNF = core.CNF
 	// VO is a verification object.
 	VO = core.VO
+	// WindowPart is one shard's share of a time-window answer: a VO
+	// covering a contiguous sub-span of the window. A sharded SP
+	// returns parts; LightClient.VerifyParts settles their union in
+	// one pairing batch.
+	WindowPart = core.WindowPart
+	// ShardRecovery reports a sharded store's reopen outcome.
+	ShardRecovery = shard.RecoveryReport
+	// ShardReport is one shard's recovery outcome within a
+	// ShardRecovery.
+	ShardReport = shard.ShardReport
 	// Publication is a subscription delivery.
 	Publication = subscribe.Publication
 	// RemoteStream is a remote subscription's verified delivery
