@@ -1,6 +1,9 @@
 package vchain
 
 import (
+	"context"
+	"time"
+
 	"github.com/vchain-go/vchain/internal/chain"
 	"github.com/vchain-go/vchain/internal/core"
 	"github.com/vchain-go/vchain/internal/service"
@@ -82,11 +85,44 @@ type SPClient struct {
 	cli *service.Client
 }
 
+// SPOptions tunes an SP connection: timeouts and the retry policy for
+// idempotent requests (header sync, queries, stats). The zero value
+// means the service defaults: 10s dial, 30s RPC, no retries.
+type SPOptions struct {
+	// DialTimeout bounds connection establishment.
+	DialTimeout time.Duration
+	// RPCTimeout bounds each request/response round trip. The deadline
+	// also rides the request so the SP abandons a proof walk whose
+	// caller has given up.
+	RPCTimeout time.Duration
+	// RetryAttempts is the total tries per idempotent call (default 1:
+	// no retries). Failed connections are re-dialed transparently
+	// between attempts; subscriptions are never retried.
+	RetryAttempts int
+	// RetryBaseBackoff is the first retry's backoff ceiling (default
+	// 50ms), doubling per retry up to RetryMaxBackoff (default 2s),
+	// with jitter.
+	RetryBaseBackoff time.Duration
+	// RetryMaxBackoff caps the exponential backoff.
+	RetryMaxBackoff time.Duration
+}
+
 // DialSP connects this light client to a remote SP. The connection
 // shares the client's header store: headers sync over it and every VO
-// verifies against it.
-func (c *LightClient) DialSP(addr string) (*SPClient, error) {
-	cli, err := service.Dial(addr)
+// verifies against it. Optional SPOptions tune timeouts and retries.
+func (c *LightClient) DialSP(addr string, opts ...SPOptions) (*SPClient, error) {
+	var cfg service.ClientConfig
+	if len(opts) > 0 {
+		o := opts[0]
+		cfg.DialTimeout = o.DialTimeout
+		cfg.RPCTimeout = o.RPCTimeout
+		cfg.Retry = service.RetryPolicy{
+			Attempts:    o.RetryAttempts,
+			BaseBackoff: o.RetryBaseBackoff,
+			MaxBackoff:  o.RetryMaxBackoff,
+		}
+	}
+	cli, err := service.Dial(addr, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -96,19 +132,52 @@ func (c *LightClient) DialSP(addr string) (*SPClient, error) {
 // SyncHeaders fetches headers the client doesn't have yet (in bounded
 // batches), validating linkage and proof-of-work locally.
 func (s *SPClient) SyncHeaders() error {
-	return s.cli.SyncHeaders(s.c.light)
+	return s.cli.SyncHeaders(context.Background(), s.c.light)
 }
 
 // Query runs a remote time-window query and verifies the VO locally
 // before returning the results (headers are synced first). A nil
 // error certifies soundness and completeness.
 func (s *SPClient) Query(q Query, batched bool) ([]Object, error) {
-	if err := s.SyncHeaders(); err != nil {
+	return s.QueryCtx(context.Background(), q, batched)
+}
+
+// QueryCtx is Query under a caller context: the deadline bounds the
+// round trip locally and propagates to the SP's proof walk.
+func (s *SPClient) QueryCtx(ctx context.Context, q Query, batched bool) ([]Object, error) {
+	if err := s.cli.SyncHeaders(ctx, s.c.light); err != nil {
 		return nil, err
 	}
 	ver := &core.Verifier{Acc: s.c.sys.acc, Light: s.c.light, Workers: s.c.sys.cfg.VerifyWorkers}
-	return s.cli.QueryVerified(q, batched, ver)
+	return s.cli.QueryVerified(ctx, q, batched, ver)
 }
+
+// QueryDegraded runs a remote time-window query in degraded-read mode
+// and verifies the partial answer locally. Against an SP with a
+// quarantined shard the verified provable sub-windows come back as a
+// DegradedResult alongside ErrDegraded; with every shard healthy the
+// result has no gaps and the error is nil. The gap claims are
+// cryptographically checked to tile the window exactly with the
+// proved parts — the SP cannot shrink the answer silently.
+func (s *SPClient) QueryDegraded(q Query, batched bool) (*DegradedResult, error) {
+	return s.QueryDegradedCtx(context.Background(), q, batched)
+}
+
+// QueryDegradedCtx is QueryDegraded under a caller context.
+func (s *SPClient) QueryDegradedCtx(ctx context.Context, q Query, batched bool) (*DegradedResult, error) {
+	if err := s.cli.SyncHeaders(ctx, s.c.light); err != nil {
+		return nil, err
+	}
+	ver := &core.Verifier{Acc: s.c.sys.acc, Light: s.c.light, Workers: s.c.sys.cfg.VerifyWorkers}
+	return s.cli.QueryVerifiedDegraded(ctx, q, batched, ver)
+}
+
+// Reconnects reports how many times the connection transparently
+// re-dialed after a transport failure.
+func (s *SPClient) Reconnects() int { return s.cli.Reconnects() }
+
+// Retries reports how many idempotent-request retries were made.
+func (s *SPClient) Retries() int { return s.cli.Retries() }
 
 // Subscribe registers a continuous query at the SP and returns a
 // stream of locally verified publications: read RemoteStream.C until
@@ -124,7 +193,7 @@ func (s *SPClient) Subscribe(q Query) (*RemoteStream, error) {
 }
 
 // Stats fetches the SP's proof-engine counters.
-func (s *SPClient) Stats() (ProofStats, error) { return s.cli.Stats() }
+func (s *SPClient) Stats() (ProofStats, error) { return s.cli.Stats(context.Background()) }
 
 // Close disconnects (ending every subscription stream).
 func (s *SPClient) Close() error { return s.cli.Close() }

@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +39,10 @@ func main() {
 		batched  = flag.Bool("batched", false, "request online batch verification")
 		seqVer   = flag.Bool("seq-verify", false, "use the sequential baseline verifier instead of the batched engine")
 		workers  = flag.Int("verify-workers", 0, "batched verification workers (0 = all cores)")
+		timeout  = flag.Duration("timeout", 0, "per-call deadline, propagated into the SP's proof walk (0 = SP client default)")
+		retries  = flag.Int("retries", 1, "total attempts per idempotent call (transport failures re-dial between attempts)")
+		backoff  = flag.Duration("retry-backoff", 0, "first retry's backoff ceiling, doubling with jitter (0 = default 50ms)")
+		degraded = flag.Bool("degraded", false, "accept a verified partial answer (with machine-readable gaps) when the SP has shards down")
 	)
 	flag.Parse()
 
@@ -44,14 +50,18 @@ func main() {
 	q := 4096
 	acc := accumulator.KeyGenCon2Deterministic(pr, q, accumulator.HashEncoder{Q: q}, []byte("vchain-demo"))
 
-	cli, err := service.Dial(*spAddr)
+	cli, err := service.Dial(*spAddr, service.ClientConfig{
+		RPCTimeout: *timeout,
+		Retry:      service.RetryPolicy{Attempts: *retries, BaseBackoff: *backoff},
+	})
 	if err != nil {
 		fatal(err)
 	}
 	defer cli.Close()
 
+	ctx := context.Background()
 	light := chain.NewLightStore(0)
-	if err := cli.SyncHeaders(light); err != nil {
+	if err := cli.SyncHeaders(ctx, light); err != nil {
 		fatal(fmt.Errorf("header sync failed (tampered chain?): %w", err))
 	}
 	fmt.Printf("synced %d headers (%d bits of light storage)\n", light.Height(), light.SizeBits())
@@ -74,7 +84,15 @@ func main() {
 	// QueryParts handles both answer shapes: a monolithic SP returns one
 	// part spanning the window, a sharded SP several (one per covering
 	// shard span); either way the union verifies in one pairing batch.
-	parts, err := cli.QueryParts(query, *batched)
+	// With -degraded the SP may additionally declare gaps for shards it
+	// cannot serve; the gap claims are verified to tile the window.
+	var parts []core.WindowPart
+	var gaps []core.Gap
+	if *degraded {
+		parts, gaps, err = cli.QueryDegraded(ctx, query, *batched)
+	} else {
+		parts, err = cli.QueryParts(ctx, query, *batched)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -87,11 +105,14 @@ func main() {
 	} else {
 		fmt.Printf("VO received: %d bytes in %d shard parts\n", voBytes, len(parts))
 	}
+	if n := cli.Retries(); n > 0 {
+		fmt.Printf("transport: %d retries, %d reconnects\n", n, cli.Reconnects())
+	}
 
 	ver := &core.Verifier{Acc: acc, Light: light, Sequential: *seqVer, Workers: *workers}
 	t0 := time.Now()
-	results, err := ver.VerifyWindowParts(query, parts)
-	if err != nil {
+	res, err := ver.VerifyDegraded(query, parts, gaps)
+	if err != nil && !errors.Is(err, core.ErrDegraded) {
 		fatal(fmt.Errorf("VERIFICATION FAILED — the SP is cheating or misconfigured: %w", err))
 	}
 	mode := "batched"
@@ -99,9 +120,17 @@ func main() {
 		mode = "sequential"
 	}
 	fmt.Printf("verified %d results in %v (%s; soundness + completeness hold):\n",
-		len(results), time.Since(t0).Round(time.Microsecond), mode)
-	for _, o := range results {
+		len(res.Objects), time.Since(t0).Round(time.Microsecond), mode)
+	for _, o := range res.Objects {
 		fmt.Printf("  %v\n", o)
+	}
+	if len(res.Gaps) > 0 {
+		fmt.Printf("DEGRADED ANSWER: %d of %d window blocks unproven:\n",
+			query.EndBlock-query.StartBlock+1-res.Covered(), query.EndBlock-query.StartBlock+1)
+		for _, g := range res.Gaps {
+			fmt.Printf("  gap: blocks [%d,%d]\n", g.Start, g.End)
+		}
+		os.Exit(2)
 	}
 }
 

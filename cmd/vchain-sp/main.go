@@ -77,6 +77,11 @@ func main() {
 		store    = flag.String("store", "", "block store directory: blocks and ADSs persist there and are recovered on restart (empty = in-memory)")
 		shards   = flag.Int("shards", 1, "shard the SP by height range across this many workers (queries scatter-gather, VOs merge into one pairing batch)")
 		band     = flag.Int("band", 0, "consecutive heights per shard band (0 = default)")
+
+		breakerN  = flag.Int("breaker-threshold", 0, "consecutive shard failures before its circuit breaker quarantines it (0 = default 3, <0 disables)")
+		breakerCD = flag.Duration("breaker-cooldown", 0, "quarantine cooldown before the supervisor retries a shard restart (0 = default 5s)")
+		supervise = flag.Duration("supervise", time.Second, "shard supervisor scan interval: restart quarantined shards from their logs (0 = off)")
+		healthLog = flag.Duration("health-log", 0, "print a one-line shard health summary every interval (0 = off)")
 	)
 	flag.Parse()
 
@@ -97,7 +102,10 @@ func main() {
 	var node spNode
 	var snode *shard.Node // set when sharded, for the per-shard stats breakdown
 	if *shards > 1 {
-		opts := shard.Options{Shards: *shards, Band: *band, Workers: *workers, CacheSize: *cache}
+		opts := shard.Options{
+			Shards: *shards, Band: *band, Workers: *workers, CacheSize: *cache,
+			FailureThreshold: *breakerN, BreakerCooldown: *breakerCD,
+		}
 		if *store != "" {
 			// Durable sharded SP: reopen every shard's segmented log
 			// (each recovering its own torn tail) and resume from the
@@ -190,6 +198,31 @@ func main() {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)
 
+	// Shard supervision: quarantined shards (breaker tripped) are
+	// restarted from their durable logs once their cooldown passes.
+	if snode != nil && *supervise > 0 {
+		stop := snode.Supervise(*supervise)
+		defer stop()
+		fmt.Printf("supervising %d shards every %v (breaker: %d failures, %v cooldown)\n",
+			*shards, *supervise, *breakerN, *breakerCD)
+	}
+	if snode != nil && *healthLog > 0 {
+		hticker := time.NewTicker(*healthLog)
+		defer hticker.Stop()
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			for {
+				select {
+				case <-hticker.C:
+					fmt.Println(healthLine(snode))
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+
 	if *interval > 0 {
 		// Continuous mining: cycle the dataset's blocks so subscribers
 		// keep receiving publications. ProcessBlock fans each block's
@@ -228,12 +261,31 @@ func main() {
 	fmt.Printf("proof engine: %d proofs computed, %d cache hits / %d misses (%.1f%% hit rate), %d agg groups, %d errors\n",
 		st.Proofs, st.CacheHits, st.CacheMisses, st.HitRate()*100, st.AggGroups, st.Errors)
 	if snode != nil {
-		for i, ss := range snode.ShardStats() {
-			fmt.Printf("  shard %d: %d proofs, %d hits / %d misses, %d agg groups, %d errors\n",
-				i, ss.Proofs, ss.CacheHits, ss.CacheMisses, ss.AggGroups, ss.Errors)
+		var restarts, trips uint64
+		for _, ss := range snode.ShardStats() {
+			p := ss.Proofs
+			fmt.Printf("  shard %d [%s]: %d proofs, %d hits / %d misses, %d agg groups, %d errors; %d failures, %d restarts, %d breaker trips\n",
+				ss.Shard, ss.Health, p.Proofs, p.CacheHits, p.CacheMisses, p.AggGroups, p.Errors,
+				ss.Failures, ss.Restarts, ss.BreakerTrips)
+			restarts += ss.Restarts
+			trips += ss.BreakerTrips
 		}
+		fmt.Printf("fault tolerance: %d shard restarts, %d breaker trips\n", restarts, trips)
 	}
 	if ev := srv.Evictions(); ev > 0 {
 		fmt.Printf("slow consumers evicted: %d\n", ev)
 	}
+}
+
+// healthLine renders the periodic one-line shard health summary, e.g.
+// "shards: 0=healthy 1=quarantined(2 restarts) 2=healthy 3=healthy".
+func healthLine(n *shard.Node) string {
+	line := "shards:"
+	for _, ss := range n.ShardStats() {
+		line += fmt.Sprintf(" %d=%s", ss.Shard, ss.Health)
+		if ss.Restarts > 0 || ss.BreakerTrips > 0 {
+			line += fmt.Sprintf("(%d trips, %d restarts)", ss.BreakerTrips, ss.Restarts)
+		}
+	}
+	return line
 }

@@ -1,0 +1,92 @@
+package vchain
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestFacadeDegradedReads exercises the public fault-tolerance surface
+// end to end: quarantine a shard, get a verified partial answer (local
+// and over the wire) with the shard's range as the gap, restart the
+// shard, and get the full answer again.
+func TestFacadeDegradedReads(t *testing.T) {
+	sys := testSystem(t, "acc2", IndexBoth)
+	node := sys.NewShardedNode(2)
+	defer node.Close()
+	// Default band is 8: shard 0 owns heights 0-7, shard 1 owns 8-11.
+	for i := 0; i < 12; i++ {
+		if _, err := node.Mine(carBlock(i), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client := sys.NewLightClient()
+	if err := client.SyncHeaders(node.Headers()); err != nil {
+		t.Fatal(err)
+	}
+	q := Query{StartBlock: 0, EndBlock: 11, Bool: And(Or("sedan")), Width: 4}
+
+	if err := node.Quarantine(1, errors.New("test: fenced")); err != nil {
+		t.Fatal(err)
+	}
+	if got := node.Health(1); got != ShardQuarantined {
+		t.Fatalf("health = %v, want quarantined", got)
+	}
+	// Strict queries touching the shard fail typed...
+	if _, err := node.TimeWindow(q); !errors.Is(err, ErrShardUnavailable) {
+		t.Fatalf("strict query err = %v, want ErrShardUnavailable", err)
+	}
+	// ...degraded ones return the provable parts plus the shard's
+	// range as the gap, and the pair verifies.
+	parts, gaps, err := node.TimeWindowDegraded(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gaps) != 1 || gaps[0] != (Gap{Start: 8, End: 11}) {
+		t.Fatalf("gaps = %v, want [[8,11]]", gaps)
+	}
+	res, err := client.VerifyDegraded(q, parts, gaps)
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("verify err = %v, want ErrDegraded", err)
+	}
+	if res.Covered() != 8 || len(res.Objects) != 8 {
+		t.Fatalf("covered %d blocks, %d objects; want 8 and 8", res.Covered(), len(res.Objects))
+	}
+
+	// The same degraded answer flows over the wire.
+	sp, err := node.Serve("127.0.0.1:0", SubscribeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	cli, err := client.DialSP(sp.Addr(), SPOptions{RetryAttempts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	wres, err := cli.QueryDegraded(q, false)
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("remote degraded err = %v, want ErrDegraded", err)
+	}
+	if wres.Covered() != 8 || len(wres.Gaps) != 1 {
+		t.Fatalf("remote degraded result: covered %d, gaps %v", wres.Covered(), wres.Gaps)
+	}
+
+	// Restart heals the shard; full strict answers resume.
+	if err := node.RestartShard(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := node.Health(1); got != ShardHealthy {
+		t.Fatalf("post-restart health = %v, want healthy", got)
+	}
+	results, err := cli.Query(q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 12 {
+		t.Fatalf("post-recovery results %d, want 12", len(results))
+	}
+	ss := node.ShardStats()
+	if len(ss) != 2 || ss[1].Restarts != 1 || ss[1].BreakerTrips != 1 {
+		t.Fatalf("shard stats = %+v, want 1 restart and 1 trip on shard 1", ss)
+	}
+}

@@ -317,6 +317,7 @@ var Experiments = map[string]func(Options) (*Table, error){
 	"fig20":   func(o Options) (*Table, error) { return SkipListFig(workload.FSQ, "Fig. 20", o) },
 	"fig21":   func(o Options) (*Table, error) { return SkipListFig(workload.WX, "Fig. 21", o) },
 	"fig22":   func(o Options) (*Table, error) { return SkipListFig(workload.ETH, "Fig. 22", o) },
+	"fault":   FaultFig,
 	"restart": RestartFig,
 	"shard":   ShardFig,
 	"verify":  func(o Options) (*Table, error) { return VerifyBatchFig(workload.FSQ, o) },

@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"reflect"
+	"time"
+
+	"github.com/vchain-go/vchain/internal/chain"
+	"github.com/vchain-go/vchain/internal/core"
+	"github.com/vchain-go/vchain/internal/crypto/pairing"
+	"github.com/vchain-go/vchain/internal/fault"
+	"github.com/vchain-go/vchain/internal/shard"
+	"github.com/vchain-go/vchain/internal/storage"
+	"github.com/vchain-go/vchain/internal/workload"
+)
+
+// FaultFig drives the chaos scenario end to end on a durable 4-shard
+// SP and reports each phase: mine a chain, break one shard's disk with
+// a seeded fault schedule until its breaker quarantines it, serve and
+// verify a degraded full-window answer (the quarantined shard's range
+// comes back as a cryptographically checked gap), heal the disk, let
+// the supervisor restart the shard from its log, and finally re-run
+// the full query — whose answer must be byte-identical to the
+// pre-fault baseline. Every phase is deterministic (seeded schedule,
+// deterministic accumulator), so the emitted BENCH_fault.json is
+// stable run to run on the same configuration.
+func FaultFig(o Options) (*Table, error) {
+	o = o.withDefaults()
+	pr := pairing.ByName(o.Preset)
+	ds, err := workload.Generate(workload.Config{Kind: workload.FSQ, Blocks: o.Blocks, ObjectsPerBlock: o.ObjectsPerBlock, Seed: o.Seed})
+	if err != nil {
+		return nil, err
+	}
+	acc := newAccumulator(pr, ds, o, "acc2")
+	queries := ds.RandomQueries(1, workload.QueryConfig{Seed: o.Seed + 17, RangeDims: 1})
+	b := &core.Builder{Acc: acc, Mode: core.ModeBoth, SkipSize: o.SkipListSize, Width: ds.Width}
+
+	dir, err := os.MkdirTemp("", "vchain-fault-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	const shards = 4
+	const target = 1 // the shard whose disk the schedule breaks
+	sched := fault.NewSchedule()
+	opts := shard.Options{
+		Shards: shards, Band: 2, Workers: 2,
+		FailureThreshold: 2, BreakerCooldown: time.Millisecond,
+		WrapBackend: func(si int, be storage.Backend) storage.Backend {
+			if si == target {
+				return fault.WrapBackend(be, sched)
+			}
+			return be
+		},
+	}
+	node, _, err := shard.Open(0, b, dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer node.Close()
+
+	table := &Table{
+		Title: "Fault tolerance (chaos: fail, degrade, recover)",
+		Note: fmt.Sprintf("4SQ, acc2/both, %d blocks, 4 shards (band 2, durable), seeded faults on shard %d",
+			o.Blocks, target),
+		Columns: []string{"phase", "time (ms)", "detail"},
+	}
+	ctx := context.Background()
+
+	// Phase 1: mine the healthy chain and take the query baseline.
+	t0 := time.Now()
+	for i := 0; i < o.Blocks; i++ {
+		if _, err := node.MineBlock(ds.Blocks[i], int64(i)); err != nil {
+			return nil, fmt.Errorf("bench: mining block %d: %w", i, err)
+		}
+	}
+	q := queries[0]
+	q.StartBlock, q.EndBlock = 0, o.Blocks-1
+	light := chain.NewLightStore(0)
+	if err := light.Sync(node.Headers()); err != nil {
+		return nil, err
+	}
+	ver := &core.Verifier{Acc: acc, Light: light}
+	baseline, err := node.TimeWindowParts(ctx, q, false)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ver.VerifyWindowParts(q, baseline); err != nil {
+		return nil, fmt.Errorf("bench: baseline verification: %w", err)
+	}
+	table.Rows = append(table.Rows, []string{"mine + baseline", ms(time.Since(t0)),
+		fmt.Sprintf("%d blocks across %d shards, full window verified", o.Blocks, shards)})
+
+	// Phase 2: break the target shard's appends and mine until its
+	// breaker trips. Heights owned by healthy shards keep committing;
+	// the chain stalls only once the broken shard's band is reached.
+	t0 = time.Now()
+	sched.NextFailures(fault.OpAppend, 1000)
+	failed := 0
+	for attempt := 0; node.Health(target) != shard.Quarantined; attempt++ {
+		if attempt > 200 {
+			return nil, errors.New("bench: breaker never tripped")
+		}
+		if _, err := node.MineBlock(ds.Blocks[attempt%len(ds.Blocks)], int64(o.Blocks+attempt)); err != nil {
+			failed++
+		}
+	}
+	table.Rows = append(table.Rows, []string{"inject + trip", ms(time.Since(t0)),
+		fmt.Sprintf("%d injected faults, %d failed commits, shard %d quarantined", sched.InjectedTotal(), failed, target)})
+
+	// Phase 3: degraded read over the full window. The quarantined
+	// shard's heights come back as gaps; parts + gaps must verify.
+	t0 = time.Now()
+	if err := light.Sync(node.Headers()); err != nil {
+		return nil, err
+	}
+	parts, gaps, err := node.TimeWindowDegraded(ctx, q, false)
+	if err != nil {
+		return nil, fmt.Errorf("bench: degraded query: %w", err)
+	}
+	res, err := ver.VerifyDegraded(q, parts, gaps)
+	if !errors.Is(err, core.ErrDegraded) {
+		return nil, fmt.Errorf("bench: degraded verification: err = %v, want ErrDegraded", err)
+	}
+	missing := 0
+	for _, g := range gaps {
+		missing += g.Blocks()
+	}
+	table.Rows = append(table.Rows, []string{"degraded query", ms(time.Since(t0)),
+		fmt.Sprintf("verified %d/%d blocks, %d gap(s) of %d blocks", res.Covered(), o.Blocks, len(gaps), missing)})
+
+	// Phase 4: heal the disk and let the supervisor restart the shard
+	// from its durable log (torn tail truncated, every restored header
+	// re-verified against the chain index).
+	t0 = time.Now()
+	sched.Heal()
+	stop := node.Supervise(time.Millisecond)
+	deadline := time.Now().Add(10 * time.Second)
+	for node.Health(target) != shard.Healthy {
+		if time.Now().After(deadline) {
+			stop()
+			return nil, errors.New("bench: supervisor never recovered the shard")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	st := node.ShardStats()[target]
+	table.Rows = append(table.Rows, []string{"supervised restart", ms(time.Since(t0)),
+		fmt.Sprintf("%d restart(s), %d breaker trip(s), breaker closed", st.Restarts, st.BreakerTrips)})
+
+	// Phase 5: full recovery — the strict full-window answer must be
+	// byte-identical to the pre-fault baseline (the accumulator proofs
+	// are deterministic, so DeepEqual is a sound identity check).
+	t0 = time.Now()
+	after, err := node.TimeWindowParts(ctx, q, false)
+	if err != nil {
+		return nil, fmt.Errorf("bench: post-recovery query: %w", err)
+	}
+	if _, err := ver.VerifyWindowParts(q, after); err != nil {
+		return nil, fmt.Errorf("bench: post-recovery verification: %w", err)
+	}
+	identical := reflect.DeepEqual(baseline, after)
+	if !identical {
+		return nil, errors.New("bench: post-recovery answer diverges from the pre-fault baseline")
+	}
+	table.Rows = append(table.Rows, []string{"full recovery", ms(time.Since(t0)),
+		"strict full-window answer byte-identical to baseline"})
+	return table, nil
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -101,7 +102,7 @@ func ShardFig(o Options) (*Table, error) {
 		for qi, q := range queries {
 			q.StartBlock, q.EndBlock = 0, o.Blocks-1
 			t0 := time.Now()
-			parts, err := node.TimeWindowParts(q, false)
+			parts, err := node.TimeWindowParts(context.Background(), q, false)
 			if err != nil {
 				node.Close()
 				return nil, fmt.Errorf("bench: query at %d shards: %w", c, err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -236,11 +237,20 @@ func (n *FullNode) ProofStats() proofs.Stats { return n.ProofEngine().Stats() }
 // method exists so the service layer can serve monolithic and sharded
 // nodes through one interface; verifiers resolve the parts via
 // Verifier.VerifyWindowParts (identical to VerifyTimeWindow for a
-// single part).
-func (n *FullNode) TimeWindowParts(q Query, batched bool) ([]WindowPart, error) {
-	vo, err := n.SP(batched).TimeWindowQuery(q)
+// single part). The context bounds the whole proof walk.
+func (n *FullNode) TimeWindowParts(ctx context.Context, q Query, batched bool) ([]WindowPart, error) {
+	vo, err := n.SP(batched).TimeWindowQueryCtx(ctx, q)
 	if err != nil {
 		return nil, err
 	}
 	return []WindowPart{{Start: q.StartBlock, End: q.EndBlock, VO: vo}}, nil
+}
+
+// TimeWindowDegraded implements the service layer's degraded query
+// entry point. A monolithic node has no shards to lose: it either
+// answers the full window or fails — degradation never yields gaps
+// here, matching the strict path exactly.
+func (n *FullNode) TimeWindowDegraded(ctx context.Context, q Query, batched bool) ([]WindowPart, []Gap, error) {
+	parts, err := n.TimeWindowParts(ctx, q, batched)
+	return parts, nil, err
 }

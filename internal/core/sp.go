@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/vchain-go/vchain/internal/accumulator"
@@ -107,6 +108,15 @@ func (b *aggVO) finalize(run *proofs.Run) ([]MismatchGroup, error) {
 // Alg. 1 when no index exists). The result set is embedded in the VO
 // (VO.Results()).
 func (sp *SP) TimeWindowQuery(q Query) (*VO, error) {
+	return sp.TimeWindowQueryCtx(context.Background(), q)
+}
+
+// TimeWindowQueryCtx is TimeWindowQuery under a deadline: the
+// end-to-start walk checks the context once per block, and the
+// deferred proof run fails its remaining tasks fast once the context
+// ends — so a caller's timeout propagates all the way into the proof
+// engine instead of a slow window pinning SP goroutines forever.
+func (sp *SP) TimeWindowQueryCtx(ctx context.Context, q Query) (*VO, error) {
 	cnf, err := q.CNF()
 	if err != nil {
 		return nil, err
@@ -128,6 +138,9 @@ func (sp *SP) TimeWindowQuery(q Query) (*VO, error) {
 
 	h := q.EndBlock
 	for h >= q.StartBlock {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: window walk at height %d: %w", h, err)
+		}
 		ads := sp.View.ADSAt(h)
 		if ads == nil {
 			return nil, fmt.Errorf("core: no ADS at height %d", h)
@@ -156,7 +169,7 @@ func (sp *SP) TimeWindowQuery(q Query) (*VO, error) {
 		vo.Groups = groups
 	}
 	if run != nil {
-		if err := run.Wait(workers); err != nil {
+		if err := run.WaitCtx(ctx, workers); err != nil {
 			return nil, fmt.Errorf("core: parallel proof: %w", err)
 		}
 	}

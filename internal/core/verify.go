@@ -272,50 +272,14 @@ type WindowPart struct {
 // across every shard's VO resolves in a single randomized
 // pairing-product flush — cross-shard verification costs one final
 // batch, not one per shard. A single part spanning the whole window is
-// exactly VerifyTimeWindow.
+// exactly VerifyTimeWindow. It is VerifyDegraded with no gaps allowed:
+// the strict entry point for callers that require full coverage.
 func (v *Verifier) VerifyWindowParts(q Query, parts []WindowPart) ([]chain.Object, error) {
-	cnf, err := q.CNF()
+	res, err := v.VerifyDegraded(q, parts, nil)
 	if err != nil {
 		return nil, err
 	}
-	if q.EndBlock >= v.Light.Height() {
-		return nil, fmt.Errorf("%w: window end %d beyond synced headers (%d)",
-			ErrCompleteness, q.EndBlock, v.Light.Height())
-	}
-	cc := newCheckCollector(v.Acc)
-	var results []chain.Object
-	expect := q.EndBlock
-	for i, p := range parts {
-		if p.VO == nil {
-			return nil, fmt.Errorf("%w: window part %d without VO", ErrCompleteness, i)
-		}
-		if p.End != expect {
-			return nil, fmt.Errorf("%w: window part %d covers [%d,%d], expected end %d",
-				ErrCompleteness, i, p.Start, p.End, expect)
-		}
-		if p.Start < q.StartBlock || p.Start > p.End {
-			return nil, fmt.Errorf("%w: window part %d span [%d,%d] outside window [%d,%d]",
-				ErrCompleteness, i, p.Start, p.End, q.StartBlock, q.EndBlock)
-		}
-		sub := q
-		sub.StartBlock, sub.EndBlock = p.Start, p.End
-		objs, err := v.collectWindow(sub, cnf, p.VO, cc)
-		if err != nil {
-			return nil, err
-		}
-		results = append(results, objs...)
-		expect = p.Start - 1
-	}
-	if expect != q.StartBlock-1 {
-		return nil, fmt.Errorf("%w: window parts end at height %d but window starts at %d",
-			ErrCompleteness, expect+1, q.StartBlock)
-	}
-	// One flush for the union: a single randomized pairing-product
-	// batch settles every shard's deferred checks together.
-	if err := v.flush(cc); err != nil {
-		return nil, err
-	}
-	return results, nil
+	return res.Objects, nil
 }
 
 // collectWindow is the structural phase of time-window verification:

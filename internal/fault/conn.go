@@ -1,0 +1,60 @@
+package fault
+
+import (
+	"net"
+	"time"
+)
+
+// Conn wraps a net.Conn with schedule-driven faults: dropped or
+// delayed reads and writes, and full severing (the wrapped connection
+// is closed, so everything after fails — a dropped session, not one
+// lost packet).
+type Conn struct {
+	net.Conn
+	sched *Schedule
+}
+
+// WrapConn wraps c with s's connection faults.
+func WrapConn(c net.Conn, s *Schedule) *Conn {
+	return &Conn{Conn: c, sched: s}
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	r, err := c.sched.apply(OpConnRead)
+	if err != nil {
+		if r.Sever {
+			c.Conn.Close()
+		}
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(p []byte) (int, error) {
+	r, err := c.sched.apply(OpConnWrite)
+	if err != nil {
+		if r.Sever {
+			c.Conn.Close()
+		}
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}
+
+// Dialer returns a dial function (for service.ClientConfig.Dialer)
+// that consults the schedule's OpDial rules and wraps every successful
+// connection with s's conn faults.
+func Dialer(s *Schedule) func(addr string, timeout time.Duration) (net.Conn, error) {
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		if _, err := s.apply(OpDial); err != nil {
+			return nil, err
+		}
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return WrapConn(conn, s), nil
+	}
+}

@@ -1,0 +1,224 @@
+// Package fault injects deterministic failures into the SP's storage
+// and transport layers. A Schedule is a seeded, replayable script of
+// faults — IO errors, latency spikes, torn writes, severed
+// connections — that wraps a storage.Backend or a net.Conn without the
+// wrapped code knowing. The same seed always produces the same
+// failures at the same points, so a chaos test that exposed a bug is a
+// regression test forever.
+//
+// Nothing in this package touches global state: every wrapper shares
+// exactly one Schedule, and healing the schedule (Heal) turns all
+// wrappers transparent at once, which is how tests model "the disk
+// came back".
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the root of every error this package injects. Wrapped
+// errors carry the operation and invocation index; match with
+// errors.Is(err, fault.ErrInjected).
+var ErrInjected = errors.New("fault: injected failure")
+
+// Op identifies an interception point. Storage ops map onto the
+// storage.Backend interface plus the log's file-level hooks; conn ops
+// onto net.Conn and dialing.
+type Op string
+
+const (
+	// OpAppend intercepts Backend.Append calls.
+	OpAppend Op = "append"
+	// OpRead intercepts Backend.Read calls.
+	OpRead Op = "read"
+	// OpTruncate intercepts Backend.Truncate calls.
+	OpTruncate Op = "truncate"
+	// OpSync intercepts the storage log's per-append fsync (via
+	// storage.Hooks.Sync).
+	OpSync Op = "sync"
+	// OpWrite intercepts the storage log's file-level frame write (via
+	// storage.Hooks.Write); with TearAt set the write is torn.
+	OpWrite Op = "write"
+	// OpConnRead intercepts net.Conn reads.
+	OpConnRead Op = "conn-read"
+	// OpConnWrite intercepts net.Conn writes.
+	OpConnWrite Op = "conn-write"
+	// OpDial intercepts connection dialing.
+	OpDial Op = "dial"
+)
+
+// Rule arms faults for one operation over a window of invocations.
+// Invocations are counted per Op from 1; a Rule fires on invocations
+// From..To inclusive (To == 0 means From only; From == 0 means 1).
+type Rule struct {
+	// Op is the interception point this rule arms.
+	Op Op
+	// From is the first (1-based) invocation the rule fires on.
+	From int
+	// To is the last invocation the rule fires on; 0 means From only.
+	To int
+	// Delay, when positive, is a latency spike injected before the
+	// operation proceeds (or fails).
+	Delay time.Duration
+	// Fail makes the operation fail with Err (or a generic injected
+	// error when Err is nil) instead of executing.
+	Fail bool
+	// Err overrides the injected error; implies Fail when non-nil.
+	Err error
+	// TearAt applies to OpWrite only: the frame write is torn after
+	// TearAt bytes (0 tears immediately — nothing lands). Implies Fail.
+	TearAt int
+	// Sever applies to conn ops: in addition to failing, the
+	// underlying connection is closed, so every later operation on it
+	// fails too (a dropped TCP session, not one lost packet).
+	Sever bool
+}
+
+// fires reports whether the rule covers invocation n (1-based).
+func (r Rule) fires(n int) bool {
+	from, to := r.From, r.To
+	if from == 0 {
+		from = 1
+	}
+	if to == 0 {
+		to = from
+	}
+	return n >= from && n <= to
+}
+
+// fails reports whether the rule fails the operation (vs delay-only).
+func (r Rule) fails() bool { return r.Fail || r.Err != nil || r.TearAt > 0 }
+
+// Schedule is a thread-safe script of fault rules shared by every
+// wrapper derived from it. Invocations are counted per Op; counting
+// continues across Heal so re-arming with AddRules after a heal targets
+// future invocations naturally.
+type Schedule struct {
+	mu       sync.Mutex
+	rules    []Rule
+	counts   map[Op]int
+	injected map[Op]int
+	healed   bool
+}
+
+// NewSchedule builds a schedule from explicit rules. An empty schedule
+// injects nothing until AddRules arms it.
+func NewSchedule(rules ...Rule) *Schedule {
+	return &Schedule{
+		rules:    rules,
+		counts:   make(map[Op]int),
+		injected: make(map[Op]int),
+	}
+}
+
+// Seeded builds a deterministic random schedule: for each op, n
+// failing rules at invocations drawn uniformly from [1, span]. The
+// same seed always yields the same schedule — the point of seeding.
+func Seeded(seed int64, span, n int, ops ...Op) *Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	var rules []Rule
+	for _, op := range ops {
+		for i := 0; i < n; i++ {
+			at := 1 + rng.Intn(span)
+			r := Rule{Op: op, From: at, Fail: true}
+			if op == OpWrite {
+				// Torn frame: land a small random prefix.
+				r.TearAt = rng.Intn(8)
+			}
+			rules = append(rules, r)
+		}
+	}
+	return NewSchedule(rules...)
+}
+
+// AddRules arms additional rules. Rules fire against each op's
+// invocation counter, which keeps running across AddRules and Heal, so
+// use NextFailures for "fail the next k calls" semantics.
+func (s *Schedule) AddRules(rules ...Rule) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rules = append(s.rules, rules...)
+	s.healed = false
+}
+
+// NextFailures arms op to fail its next k invocations (from wherever
+// its counter currently stands).
+func (s *Schedule) NextFailures(op Op, k int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	from := s.counts[op] + 1
+	s.rules = append(s.rules, Rule{Op: op, From: from, To: from + k - 1, Fail: true})
+	s.healed = false
+}
+
+// Heal disables every rule: all wrappers become transparent. Counters
+// keep running, and AddRules/NextFailures re-arm the schedule.
+func (s *Schedule) Heal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.healed = true
+}
+
+// Injected returns how many faults have fired per op so far.
+func (s *Schedule) Injected() map[Op]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[Op]int, len(s.injected))
+	for op, n := range s.injected {
+		out[op] = n
+	}
+	return out
+}
+
+// InjectedTotal returns the total number of faults fired.
+func (s *Schedule) InjectedTotal() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for _, n := range s.injected {
+		total += n
+	}
+	return total
+}
+
+// next advances op's invocation counter and returns the rule to apply,
+// if any. The first matching armed rule wins.
+func (s *Schedule) next(op Op) (Rule, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counts[op]++
+	if s.healed {
+		return Rule{}, false
+	}
+	n := s.counts[op]
+	for _, r := range s.rules {
+		if r.Op == op && r.fires(n) {
+			s.injected[op]++
+			return r, true
+		}
+	}
+	return Rule{}, false
+}
+
+// apply sleeps the rule's delay and materializes its error (nil for a
+// delay-only rule). inv is informational, for the error message.
+func (s *Schedule) apply(op Op) (Rule, error) {
+	r, ok := s.next(op)
+	if !ok {
+		return r, nil
+	}
+	if r.Delay > 0 {
+		time.Sleep(r.Delay)
+	}
+	if !r.fails() {
+		return r, nil
+	}
+	if r.Err != nil {
+		return r, fmt.Errorf("%w: %s: %w", ErrInjected, op, r.Err)
+	}
+	return r, fmt.Errorf("%w: %s", ErrInjected, op)
+}

@@ -25,6 +25,7 @@ package proofs
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -77,6 +78,18 @@ func (l *Limiter) Cap() int { return cap(l.sem) }
 
 func (l *Limiter) acquire() { l.sem <- struct{}{} }
 func (l *Limiter) release() { <-l.sem }
+
+// acquireCtx waits for a budget slot or the context's end, whichever
+// comes first — a canceled query's queued proof tasks give up their
+// wait instead of pinning the budget queue.
+func (l *Limiter) acquireCtx(ctx context.Context) error {
+	select {
+	case l.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // Stats is a point-in-time snapshot of engine counters.
 type Stats struct {
@@ -211,11 +224,25 @@ func (e *Engine) Stats() Stats {
 // joining an in-flight computation when one is already underway.
 // clauseKey must uniquely determine clauseW.
 func (e *Engine) Prove(w multiset.Multiset, clauseKey string, clauseW multiset.Multiset) (accumulator.Proof, error) {
+	return e.ProveCtx(context.Background(), w, clauseKey, clauseW)
+}
+
+// ProveCtx is Prove under a deadline: a done context fails the request
+// before any pairing work starts, while waiting for the concurrency
+// budget, or while joined onto another caller's in-flight computation.
+// A computation already running is never interrupted (the pairing code
+// has no cancellation points) — its result still lands in the cache
+// for the next caller, so cancellation costs at most one proof of
+// wasted work per worker.
+func (e *Engine) ProveCtx(ctx context.Context, w multiset.Multiset, clauseKey string, clauseW multiset.Multiset) (accumulator.Proof, error) {
+	if err := ctx.Err(); err != nil {
+		return accumulator.Proof{}, err
+	}
 	if e.cacheSize < 0 {
 		e.mu.Lock()
 		e.stats.CacheMisses++
 		e.mu.Unlock()
-		return e.compute(w, clauseW)
+		return e.compute(ctx, w, clauseW)
 	}
 	key := cacheKey{w: w.Digest(), clause: clauseKey}
 
@@ -230,15 +257,19 @@ func (e *Engine) Prove(w multiset.Multiset, clauseKey string, clauseW multiset.M
 	if f, ok := e.inflight[key]; ok {
 		e.stats.CacheHits++
 		e.mu.Unlock()
-		<-f.done
-		return f.pf, f.err
+		select {
+		case <-f.done:
+			return f.pf, f.err
+		case <-ctx.Done():
+			return accumulator.Proof{}, ctx.Err()
+		}
 	}
 	f := &flight{done: make(chan struct{})}
 	e.inflight[key] = f
 	e.stats.CacheMisses++
 	e.mu.Unlock()
 
-	f.pf, f.err = e.compute(w, clauseW)
+	f.pf, f.err = e.compute(ctx, w, clauseW)
 
 	e.mu.Lock()
 	delete(e.inflight, key)
@@ -257,9 +288,12 @@ func (e *Engine) Prove(w multiset.Multiset, clauseKey string, clauseW multiset.M
 }
 
 // compute runs the accumulator proof under the concurrency bound and
-// updates the computation counters.
-func (e *Engine) compute(w, clauseW multiset.Multiset) (accumulator.Proof, error) {
-	e.lim.acquire()
+// updates the computation counters. A context expiring while queued
+// for the budget aborts without touching the pairing counters.
+func (e *Engine) compute(ctx context.Context, w, clauseW multiset.Multiset) (accumulator.Proof, error) {
+	if err := e.lim.acquireCtx(ctx); err != nil {
+		return accumulator.Proof{}, err
+	}
 	pf, err := e.acc.ProveDisjoint(w, clauseW)
 	e.lim.release()
 	e.mu.Lock()
@@ -307,6 +341,16 @@ func (r *Run) Len() int { return len(r.tasks) }
 // successful assignments still happen. The run is empty afterwards
 // and may be reused.
 func (r *Run) Wait(workers int) error {
+	return r.WaitCtx(context.Background(), workers)
+}
+
+// WaitCtx is Wait under a deadline: once the context ends, remaining
+// tasks fail fast with the context error instead of computing — a
+// canceled query drains its deferred proof backlog in one cheap check
+// per task rather than pinning the worker budget until the backlog is
+// exhausted. Tasks already inside the pairing code run to completion
+// (and still populate the cache).
+func (r *Run) WaitCtx(ctx context.Context, workers int) error {
 	if len(r.tasks) == 0 {
 		return nil
 	}
@@ -322,7 +366,7 @@ func (r *Run) Wait(workers int) error {
 		var firstErr error
 		for i := range tasks {
 			t := &tasks[i]
-			pf, err := r.e.Prove(t.w, t.clauseKey, t.clauseW)
+			pf, err := r.e.ProveCtx(ctx, t.w, t.clauseKey, t.clauseW)
 			if err != nil {
 				if firstErr == nil {
 					firstErr = err
@@ -345,7 +389,7 @@ func (r *Run) Wait(workers int) error {
 		go func() {
 			for idx := range jobs {
 				t := &tasks[idx]
-				pf, err := r.e.Prove(t.w, t.clauseKey, t.clauseW)
+				pf, err := r.e.ProveCtx(ctx, t.w, t.clauseKey, t.clauseW)
 				results <- result{idx: idx, pf: pf, err: err}
 			}
 		}()

@@ -1,8 +1,10 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -13,6 +15,44 @@ import (
 	"github.com/vchain-go/vchain/internal/subscribe"
 )
 
+// RetryPolicy tunes client-side retries for idempotent requests
+// (headers, queries, stats). Retries re-dial a failed connection
+// transparently; non-idempotent requests (subscribe/unsubscribe) are
+// never retried.
+type RetryPolicy struct {
+	// Attempts is the total number of tries per call (default 1: no
+	// retries, matching the pre-retry client exactly).
+	Attempts int
+	// BaseBackoff is the first retry's backoff ceiling (default 50ms);
+	// later retries double it up to MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff (default 2s).
+	MaxBackoff time.Duration
+}
+
+// backoff returns the pause before retry attempt a (1-based): capped
+// exponential with half-jitter, so a fleet of clients losing one SP
+// does not reconnect in lockstep.
+func (p RetryPolicy) backoff(a int) time.Duration {
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base
+	for i := 1; i < a; i++ {
+		d *= 2
+		if d >= max || d <= 0 {
+			d = max
+			break
+		}
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
 // ClientConfig tunes the light-client side of the wire protocol. The
 // zero value uses the defaults noted on each field.
 type ClientConfig struct {
@@ -20,7 +60,8 @@ type ClientConfig struct {
 	DialTimeout time.Duration
 	// RPCTimeout bounds how long a request waits for its response
 	// (default 30s). A stalled or dead SP fails every in-flight call
-	// within this window instead of wedging callers forever.
+	// within this window instead of wedging callers forever. A caller
+	// context with an earlier deadline tightens it per call.
 	RPCTimeout time.Duration
 	// FrameTimeout bounds a started frame's arrival or drain
 	// (DefaultFrameTimeout when 0).
@@ -37,6 +78,12 @@ type ClientConfig struct {
 	// the client can verify for that long is flooding; the stream ends
 	// with an overrun error instead of buffering without bound.
 	SubQueue int
+	// Retry governs idempotent-request retries (default: none).
+	Retry RetryPolicy
+	// Dialer overrides how connections are established (default
+	// net.DialTimeout over TCP). Fault-injection tests use it to wrap
+	// or sever connections.
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -63,23 +110,55 @@ const maxOrphans = 256
 // ErrClosed reports an operation on a closed or failed connection.
 var ErrClosed = errors.New("service: connection closed")
 
+// SPError is a processing error returned by the SP itself (as opposed
+// to a transport failure). SP errors are never retried: the SP heard
+// the request and answered; asking again would get the same answer.
+type SPError struct {
+	// Msg is the SP's error text.
+	Msg string
+}
+
+// Error implements error.
+func (e *SPError) Error() string { return "service: SP error: " + e.Msg }
+
+// genState is one connection generation: the socket, its framing, and
+// its lifecycle. A reconnect replaces the client's generation
+// wholesale; waiters and streams hold the generation they started on,
+// so a new connection can never satisfy (or fail) a call from an old
+// one. err is set before done closes and immutable afterwards.
+type genState struct {
+	conn   net.Conn
+	fc     *frameConn
+	done   chan struct{}
+	err    error
+	failed bool // guarded by Client.mu
+}
+
 // Client is a light node's connection to a remote SP. A background
 // read loop dispatches responses to their callers by Seq and routes
 // pushed publications to their subscriptions, so any number of calls
-// (and subscription streams) can be in flight concurrently.
+// (and subscription streams) can be in flight concurrently. When the
+// connection fails, idempotent calls transparently re-dial (per the
+// configured RetryPolicy); subscriptions end with a transport error
+// and must be re-established by the consumer.
 type Client struct {
 	cfg  ClientConfig
-	fc   *frameConn
-	conn net.Conn
-	done chan struct{}
+	addr string
 
-	mu      sync.Mutex
-	seq     uint64
-	pending map[uint64]chan *Response
-	subs    map[int]*Subscription
-	err     error // terminal connection error
-	closing bool  // user-initiated Close in progress
-	dropped int   // pushed publications with no local subscription
+	// redialMu serializes reconnect attempts so a burst of failing
+	// calls dials once, not once each.
+	redialMu sync.Mutex
+
+	mu         sync.Mutex
+	gen        *genState
+	seq        uint64 // never resets: a Seq is unique across generations
+	pending    map[uint64]chan *Response
+	subs       map[int]*Subscription
+	err        error // current generation's terminal error
+	closing    bool  // user-initiated Close in progress
+	dropped    int   // pushed publications with no local subscription
+	reconnects int
+	retries    int
 
 	// subscribing counts in-flight Subscribe calls; while positive,
 	// publications with no matching subscription are parked in orphans
@@ -89,37 +168,111 @@ type Client struct {
 	orphans     []*subscribe.Publication
 }
 
-// Dial connects to an SP. An optional ClientConfig tunes timeouts and
-// frame caps.
+// Dial connects to an SP. An optional ClientConfig tunes timeouts,
+// frame caps, and the retry policy.
 func Dial(addr string, cfg ...ClientConfig) (*Client, error) {
 	var c ClientConfig
 	if len(cfg) > 0 {
 		c = cfg[0]
 	}
 	c = c.withDefaults()
-	conn, err := net.DialTimeout("tcp", addr, c.DialTimeout)
-	if err != nil {
-		return nil, fmt.Errorf("service: dial: %w", err)
-	}
 	cli := &Client{
 		cfg:     c,
-		fc:      newFrameConn(conn, c.MaxFrame, c.FrameTimeout),
-		conn:    conn,
-		done:    make(chan struct{}),
+		addr:    addr,
 		pending: map[uint64]chan *Response{},
 		subs:    map[int]*Subscription{},
 	}
-	go cli.readLoop()
+	gen, err := cli.dial()
+	if err != nil {
+		return nil, err
+	}
+	cli.gen = gen
+	go cli.readLoop(gen)
 	return cli, nil
 }
 
-// readLoop is the connection's only reader: it matches responses to
+// dial establishes one connection generation.
+func (c *Client) dial() (*genState, error) {
+	dialer := c.cfg.Dialer
+	if dialer == nil {
+		dialer = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	conn, err := dialer(c.addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("service: dial: %w", err)
+	}
+	return &genState{
+		conn: conn,
+		fc:   newFrameConn(conn, c.cfg.MaxFrame, c.cfg.FrameTimeout),
+		done: make(chan struct{}),
+	}, nil
+}
+
+// ensureLive re-dials if the current generation has failed. Concurrent
+// callers serialize on redialMu so one burst of failures produces one
+// reconnect.
+func (c *Client) ensureLive() error {
+	c.redialMu.Lock()
+	defer c.redialMu.Unlock()
+	c.mu.Lock()
+	if c.closing {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if c.err == nil {
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+
+	gen, err := c.dial()
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.closing {
+		c.mu.Unlock()
+		gen.conn.Close()
+		return ErrClosed
+	}
+	// Fresh generation: waiters and subscriptions of the old one were
+	// already swept by fail(); the Seq counter carries on so an old
+	// generation's late response can never match a new call.
+	c.gen = gen
+	c.err = nil
+	c.pending = map[uint64]chan *Response{}
+	c.subs = map[int]*Subscription{}
+	c.orphans = nil
+	c.reconnects++
+	c.mu.Unlock()
+	go c.readLoop(gen)
+	return nil
+}
+
+// Reconnects reports how many times the client transparently re-dialed
+// after a transport failure.
+func (c *Client) Reconnects() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reconnects
+}
+
+// Retries reports how many idempotent-request retries have been made.
+func (c *Client) Retries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retries
+}
+
+// readLoop is one generation's only reader: it matches responses to
 // waiting calls and hands pushed publications to their subscriptions.
-func (c *Client) readLoop() {
+func (c *Client) readLoop(gen *genState) {
 	for {
 		resp := new(Response)
-		if err := c.fc.readFrame(resp); err != nil {
-			c.fail(fmt.Errorf("service: receive: %w", err))
+		if err := gen.fc.readFrame(resp); err != nil {
+			c.fail(gen, fmt.Errorf("service: receive: %w", err))
 			return
 		}
 		if resp.Seq != 0 {
@@ -154,44 +307,54 @@ func (c *Client) readLoop() {
 	}
 }
 
-// fail marks the connection dead, closes the socket (so the server
+// fail marks one generation dead, closes its socket (so the server
 // sees the disconnect and deregisters this client's subscriptions
 // instead of computing proofs for a peer that will never read), and
-// unblocks every waiter and stream. The first caller's error sticks
-// and closes done; later calls are no-ops.
-func (c *Client) fail(err error) {
-	c.conn.Close()
+// unblocks its waiters and streams. The first caller's error sticks
+// and closes the generation's done; later calls — and calls about an
+// already-replaced generation — are no-ops.
+func (c *Client) fail(gen *genState, err error) {
+	gen.conn.Close()
 	c.mu.Lock()
-	if c.err != nil {
+	if gen.failed {
 		c.mu.Unlock()
 		return
 	}
+	gen.failed = true
 	if c.closing {
 		err = ErrClosed
 	}
-	c.err = err
-	subs := make([]*Subscription, 0, len(c.subs))
-	for _, s := range c.subs {
-		subs = append(subs, s)
+	gen.err = err
+	var subs []*Subscription
+	if c.gen == gen {
+		c.err = err
+		subs = make([]*Subscription, 0, len(c.subs))
+		for _, s := range c.subs {
+			subs = append(subs, s)
+		}
+		c.subs = map[int]*Subscription{}
 	}
-	c.subs = map[int]*Subscription{}
 	c.mu.Unlock()
-	close(c.done)
+	close(gen.done)
 	for _, s := range subs {
 		s.connFailed(err)
 	}
 }
 
-// roundTrip sends one request and waits for its response. Concurrent
-// callers proceed independently: the connection mutex is held only to
-// assign a Seq, and a dead or stalled SP fails each caller within
-// RPCTimeout instead of queueing them behind one another.
-func (c *Client) roundTrip(req *Request) (*Response, error) {
+// roundTrip sends one request on the current generation and waits for
+// its response. Concurrent callers proceed independently: the
+// connection mutex is held only to assign a Seq, and a dead or stalled
+// SP fails each caller within RPCTimeout (or the context's earlier
+// deadline) instead of queueing them behind one another. The serving
+// generation is returned so callers binding state to the connection
+// (Subscribe) can detect a reconnect between ack and registration.
+func (c *Client) roundTrip(ctx context.Context, req *Request) (*Response, *genState, error) {
 	c.mu.Lock()
+	gen := c.gen
 	if c.err != nil {
 		err := c.err
 		c.mu.Unlock()
-		return nil, err
+		return nil, gen, err
 	}
 	c.seq++
 	seq := c.seq
@@ -205,40 +368,122 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 		delete(c.pending, seq)
 		c.mu.Unlock()
 	}
-	if err := c.fc.writeFrame(req); err != nil {
+	// The effective budget is the tighter of RPCTimeout and the
+	// context deadline; it rides the request so the server can abandon
+	// the proof walk when the caller has given up.
+	timeout := c.cfg.RPCTimeout
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < timeout {
+			timeout = rem
+		}
+	}
+	if timeout <= 0 {
+		abort()
+		if err := ctx.Err(); err != nil {
+			return nil, gen, err
+		}
+		return nil, gen, context.DeadlineExceeded
+	}
+	req.DeadlineMs = timeout.Milliseconds()
+
+	if err := gen.fc.writeFrame(req); err != nil {
 		abort()
 		if errors.Is(err, errBrokenWrite) {
 			// A partial write desynchronizes the stream: the whole
-			// connection is done, not just this call.
-			c.fail(err)
+			// generation is done, not just this call.
+			c.fail(gen, err)
 		}
-		return nil, err
+		return nil, gen, err
 	}
-	timer := time.NewTimer(c.cfg.RPCTimeout)
+	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
 	case resp := <-ch:
 		if resp.Err != "" {
-			return nil, errors.New("service: SP error: " + resp.Err)
+			return nil, gen, &SPError{Msg: resp.Err}
 		}
-		return resp, nil
-	case <-c.done:
+		return resp, gen, nil
+	case <-gen.done:
 		abort()
-		c.mu.Lock()
-		err := c.err
-		c.mu.Unlock()
-		return nil, err
+		return nil, gen, gen.err
+	case <-ctx.Done():
+		abort()
+		return nil, gen, ctx.Err()
 	case <-timer.C:
 		abort()
-		return nil, fmt.Errorf("service: %q timed out after %v", req.Kind, c.cfg.RPCTimeout)
+		return nil, gen, fmt.Errorf("service: %q timed out after %v", req.Kind, timeout)
 	}
+}
+
+// retryable classifies an error for the idempotent-retry path: SP
+// processing errors, context expiry, and a deliberate Close are final;
+// everything else is a transport fault worth another connection.
+func retryable(err error) bool {
+	var spe *SPError
+	if errors.As(err, &spe) {
+		return false
+	}
+	return !errors.Is(err, context.Canceled) &&
+		!errors.Is(err, context.DeadlineExceeded) &&
+		!errors.Is(err, ErrClosed)
+}
+
+// sleepCtx pauses for d or until the context ends.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// callIdem runs one idempotent request under the retry policy:
+// re-dialing a failed connection, backing off exponentially with
+// jitter between attempts, and never retrying an answer the SP
+// actually gave.
+func (c *Client) callIdem(ctx context.Context, req *Request) (*Response, error) {
+	attempts := c.cfg.Retry.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for a := 1; a <= attempts; a++ {
+		if a > 1 {
+			c.mu.Lock()
+			c.retries++
+			c.mu.Unlock()
+			if err := sleepCtx(ctx, c.cfg.Retry.backoff(a-1)); err != nil {
+				return nil, err
+			}
+		}
+		if err := c.ensureLive(); err != nil {
+			lastErr = err
+			if !retryable(err) {
+				return nil, err
+			}
+			continue
+		}
+		r := *req // fresh copy: Seq and DeadlineMs are per-attempt
+		resp, _, err := c.roundTrip(ctx, &r)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
 }
 
 // Headers fetches one batch of headers from a height onward. The
 // server bounds the batch size; use SyncHeaders to catch a light
 // store fully up.
-func (c *Client) Headers(from int) ([]chain.Header, error) {
-	resp, err := c.roundTrip(&Request{Kind: "headers", FromHeight: from})
+func (c *Client) Headers(ctx context.Context, from int) ([]chain.Header, error) {
+	resp, err := c.callIdem(ctx, &Request{Kind: "headers", FromHeight: from})
 	if err != nil {
 		return nil, err
 	}
@@ -249,10 +494,10 @@ func (c *Client) Headers(from int) ([]chain.Header, error) {
 // bounded batches until none remain. Every batch is PoW- and
 // linkage-validated by the store; the SP cannot feed a divergent
 // chain.
-func (c *Client) SyncHeaders(light *chain.LightStore) error {
+func (c *Client) SyncHeaders(ctx context.Context, light *chain.LightStore) error {
 	for {
 		from := light.Height()
-		headers, err := c.Headers(from)
+		headers, err := c.Headers(ctx, from)
 		if err != nil {
 			return err
 		}
@@ -277,8 +522,8 @@ func (c *Client) SyncHeaders(light *chain.LightStore) error {
 // VO; the caller must verify it with a core.Verifier. Against a
 // sharded SP whose answer crossed shards, the response has no single
 // VO — use QueryParts.
-func (c *Client) Query(q core.Query, batched bool) (*core.VO, error) {
-	resp, err := c.roundTrip(&Request{Kind: "query", Query: q, Batched: batched})
+func (c *Client) Query(ctx context.Context, q core.Query, batched bool) (*core.VO, error) {
+	resp, err := c.callIdem(ctx, &Request{Kind: "query", Query: q, Batched: batched})
 	if err != nil {
 		return nil, err
 	}
@@ -296,8 +541,8 @@ func (c *Client) Query(q core.Query, batched bool) (*core.VO, error) {
 // window from an unsharded SP, one per covering shard from a sharded
 // one. Verify with core.Verifier.VerifyWindowParts, which settles the
 // union in a single pairing-product batch.
-func (c *Client) QueryParts(q core.Query, batched bool) ([]core.WindowPart, error) {
-	resp, err := c.roundTrip(&Request{Kind: "query", Query: q, Batched: batched})
+func (c *Client) QueryParts(ctx context.Context, q core.Query, batched bool) ([]core.WindowPart, error) {
+	resp, err := c.callIdem(ctx, &Request{Kind: "query", Query: q, Batched: batched})
 	if err != nil {
 		return nil, err
 	}
@@ -310,6 +555,23 @@ func (c *Client) QueryParts(q core.Query, batched bool) ([]core.WindowPart, erro
 	return []core.WindowPart{{Start: q.StartBlock, End: q.EndBlock, VO: resp.VO}}, nil
 }
 
+// QueryDegraded runs a remote time-window query in degraded-read mode:
+// if parts of the window are unprovable (a sharded SP with a
+// quarantined shard), the SP answers with the provable parts plus
+// machine-readable gaps instead of an error. Verify the pair with
+// core.Verifier.VerifyDegraded — the gaps are claims until then.
+func (c *Client) QueryDegraded(ctx context.Context, q core.Query, batched bool) ([]core.WindowPart, []core.Gap, error) {
+	resp, err := c.callIdem(ctx, &Request{Kind: "query", Query: q, Batched: batched, AllowDegraded: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(resp.Parts) == 0 && resp.VO != nil {
+		// A pre-degraded server answered strictly: whole-window VO.
+		return []core.WindowPart{{Start: q.StartBlock, End: q.EndBlock, VO: resp.VO}}, resp.Gaps, nil
+	}
+	return resp.Parts, resp.Gaps, nil
+}
+
 // QueryVerified runs a remote time-window query and verifies the
 // answer locally with the supplied verifier before returning the
 // results — the one-call path a light client actually wants. It
@@ -318,18 +580,31 @@ func (c *Client) QueryParts(q core.Query, batched bool) ([]core.WindowPart, erro
 // returned objects carry the full soundness/completeness guarantee;
 // any SP misbehavior surfaces as the verifier's error. The verifier
 // defaults to the batched engine; set ver.Sequential for the baseline.
-func (c *Client) QueryVerified(q core.Query, batched bool, ver *core.Verifier) ([]chain.Object, error) {
-	parts, err := c.QueryParts(q, batched)
+func (c *Client) QueryVerified(ctx context.Context, q core.Query, batched bool, ver *core.Verifier) ([]chain.Object, error) {
+	parts, err := c.QueryParts(ctx, q, batched)
 	if err != nil {
 		return nil, err
 	}
 	return ver.VerifyWindowParts(q, parts)
 }
 
+// QueryVerifiedDegraded is QueryVerified for degraded reads: the
+// verified partial answer comes back as a DegradedResult whose Gaps
+// are cryptographically checked to tile the window exactly with the
+// parts. When gaps are present the result is accompanied by
+// core.ErrDegraded — a degraded answer is never silently incomplete.
+func (c *Client) QueryVerifiedDegraded(ctx context.Context, q core.Query, batched bool, ver *core.Verifier) (*core.DegradedResult, error) {
+	parts, gaps, err := c.QueryDegraded(ctx, q, batched)
+	if err != nil {
+		return nil, err
+	}
+	return ver.VerifyDegraded(q, parts, gaps)
+}
+
 // Stats fetches the SP's proof-engine counters (proofs computed,
 // cache hits/misses, aggregation groups).
-func (c *Client) Stats() (proofs.Stats, error) {
-	resp, err := c.roundTrip(&Request{Kind: "stats"})
+func (c *Client) Stats(ctx context.Context) (proofs.Stats, error) {
+	resp, err := c.callIdem(ctx, &Request{Kind: "stats"})
 	if err != nil {
 		return proofs.Stats{}, err
 	}
@@ -348,11 +623,12 @@ func (c *Client) DroppedPublications() int {
 	return c.dropped
 }
 
-// Close disconnects. In-flight calls fail with ErrClosed and every
-// subscription stream ends.
+// Close disconnects. In-flight calls fail with ErrClosed, every
+// subscription stream ends, and no reconnects happen afterwards.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	c.closing = true
+	gen := c.gen
 	c.mu.Unlock()
-	return c.conn.Close()
+	return gen.conn.Close()
 }

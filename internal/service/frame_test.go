@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"net"
@@ -44,7 +45,7 @@ func TestClientFrameCap(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cli.Close()
-	_, err = cli.Headers(0) // 3 headers >> 64 bytes
+	_, err = cli.Headers(context.Background(), 0) // 3 headers >> 64 bytes
 	if err == nil {
 		t.Fatal("oversized response accepted")
 	}
@@ -137,7 +138,7 @@ func TestRoundTripFailFast(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, errs[i] = cli.Headers(0)
+			_, errs[i] = cli.Headers(context.Background(), 0)
 		}(i)
 	}
 	wg.Wait()

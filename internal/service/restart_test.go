@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"testing"
 
 	"github.com/vchain-go/vchain/internal/accumulator"
@@ -55,7 +56,7 @@ func TestServerOverReopenedStore(t *testing.T) {
 	}
 	defer cli.Close()
 	light := chain.NewLightStore(0)
-	if err := cli.SyncHeaders(light); err != nil {
+	if err := cli.SyncHeaders(context.Background(), light); err != nil {
 		t.Fatal(err)
 	}
 	if light.Height() != 3 {
@@ -65,7 +66,7 @@ func TestServerOverReopenedStore(t *testing.T) {
 	// Remote verified query over the persisted chain.
 	q := sedanQuery()
 	q.StartBlock, q.EndBlock = 0, 2
-	vo, err := cli.Query(q, false)
+	vo, err := cli.Query(context.Background(), q, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -304,7 +305,23 @@ func (sc *serverConn) process(req *Request) *Response {
 		}
 		return &Response{Headers: batch}
 	case "query":
-		parts, err := s.node.TimeWindowParts(req.Query, req.Batched)
+		// The client's remaining call budget rides the request; deriving
+		// a context from it means a query whose caller has already given
+		// up stops consuming proof workers mid-walk.
+		ctx := context.Background()
+		if req.DeadlineMs > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMs)*time.Millisecond)
+			defer cancel()
+		}
+		if req.AllowDegraded {
+			parts, gaps, err := s.node.TimeWindowDegraded(ctx, req.Query, req.Batched)
+			if err != nil {
+				return &Response{Err: err.Error()}
+			}
+			return &Response{Parts: parts, Gaps: gaps}
+		}
+		parts, err := s.node.TimeWindowParts(ctx, req.Query, req.Batched)
 		if err != nil {
 			return &Response{Err: err.Error()}
 		}

@@ -20,6 +20,8 @@
 package service
 
 import (
+	"context"
+
 	"github.com/vchain-go/vchain/internal/accumulator"
 	"github.com/vchain-go/vchain/internal/chain"
 	"github.com/vchain-go/vchain/internal/core"
@@ -39,8 +41,14 @@ type Chain interface {
 	// Headers returns every block header.
 	Headers() []chain.Header
 	// TimeWindowParts answers a time-window query as a descending
-	// part list tiling the window.
-	TimeWindowParts(q core.Query, batched bool) ([]core.WindowPart, error)
+	// part list tiling the window. The context carries the client's
+	// propagated deadline into the proof walk.
+	TimeWindowParts(ctx context.Context, q core.Query, batched bool) ([]core.WindowPart, error)
+	// TimeWindowDegraded is the degraded-read entry point: unprovable
+	// sub-windows (a sharded node's quarantined or failing shards)
+	// come back as gaps instead of failing the query. A monolithic
+	// node never yields gaps.
+	TimeWindowDegraded(ctx context.Context, q core.Query, batched bool) ([]core.WindowPart, []core.Gap, error)
 	// Acc exposes the accumulator public part.
 	Acc() accumulator.Accumulator
 	// BitWidth is the numeric attribute width of the deployment.
@@ -68,6 +76,14 @@ type Request struct {
 	Query core.Query
 	// Batched requests online batch verification (§6.3).
 	Batched bool
+	// AllowDegraded lets a query answer omit unprovable sub-windows as
+	// machine-readable Gaps (verified client-side by VerifyDegraded)
+	// instead of failing outright when a shard is down.
+	AllowDegraded bool
+	// DeadlineMs propagates the client's remaining call budget in
+	// milliseconds; 0 means no deadline. The server derives a context
+	// from it so an abandoned query stops consuming proof workers.
+	DeadlineMs int64
 	// SubID names the subscription to drop (Kind == "unsubscribe").
 	SubID int
 }
@@ -91,6 +107,10 @@ type Response struct {
 	// window. Exactly one of VO and Parts is set on a successful query
 	// response.
 	Parts []core.WindowPart
+	// Gaps lists the unproven sub-windows of a degraded answer
+	// (AllowDegraded requests only). Parts and Gaps together tile the
+	// window; the client's VerifyDegraded enforces exactly that.
+	Gaps []core.Gap
 	// Stats answers a stats request with the SP's proof-engine
 	// counters.
 	Stats *proofs.Stats

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -49,7 +50,7 @@ func TestRemoteQueryAndVerify(t *testing.T) {
 	}
 	defer cli.Close()
 
-	headers, err := cli.Headers(0)
+	headers, err := cli.Headers(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestRemoteQueryAndVerify(t *testing.T) {
 	}
 
 	q := core.Query{StartBlock: 0, EndBlock: 2, Bool: core.CNF{core.KeywordClause("sedan")}, Width: 4}
-	vo, err := cli.Query(q, false)
+	vo, err := cli.Query(context.Background(), q, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,13 +83,13 @@ func TestRemoteBatchedQuery(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cli.Close()
-	headers, _ := cli.Headers(0)
+	headers, _ := cli.Headers(context.Background(), 0)
 	light := chain.NewLightStore(0)
 	if err := light.Sync(headers); err != nil {
 		t.Fatal(err)
 	}
 	q := core.Query{StartBlock: 0, EndBlock: 2, Bool: core.CNF{core.KeywordClause("tesla")}, Width: 4}
-	vo, err := cli.Query(q, true)
+	vo, err := cli.Query(context.Background(), q, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,17 +108,17 @@ func TestIncrementalHeaderSync(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cli.Close()
-	h, err := cli.Headers(2)
+	h, err := cli.Headers(context.Background(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(h) != 1 || h[0].Height != 2 {
 		t.Fatalf("incremental sync wrong: %d headers", len(h))
 	}
-	if _, err := cli.Headers(99); err == nil {
+	if _, err := cli.Headers(context.Background(), 99); err == nil {
 		t.Error("out-of-range FromHeight accepted")
 	}
-	if _, err := cli.Headers(-1); err == nil {
+	if _, err := cli.Headers(context.Background(), -1); err == nil {
 		t.Error("negative FromHeight accepted")
 	}
 }
@@ -136,14 +137,14 @@ func TestSyncHeadersPagination(t *testing.T) {
 	}
 	defer cli.Close()
 	light := chain.NewLightStore(0)
-	if err := cli.SyncHeaders(light); err != nil {
+	if err := cli.SyncHeaders(context.Background(), light); err != nil {
 		t.Fatal(err)
 	}
 	if light.Height() != 3 {
 		t.Fatalf("synced %d headers, want 3", light.Height())
 	}
 	// Already caught up: another sync is a no-op.
-	if err := cli.SyncHeaders(light); err != nil {
+	if err := cli.SyncHeaders(context.Background(), light); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -157,11 +158,11 @@ func TestServerErrors(t *testing.T) {
 	defer cli.Close()
 	// Invalid query window.
 	q := core.Query{StartBlock: 5, EndBlock: 1, Bool: core.CNF{core.KeywordClause("x")}, Width: 4}
-	if _, err := cli.Query(q, false); err == nil || !strings.Contains(err.Error(), "SP error") {
+	if _, err := cli.Query(context.Background(), q, false); err == nil || !strings.Contains(err.Error(), "SP error") {
 		t.Errorf("invalid window: %v", err)
 	}
 	// Unknown request kind.
-	resp, err := cli.roundTrip(&Request{Kind: "bogus"})
+	resp, _, err := cli.roundTrip(context.Background(), &Request{Kind: "bogus"})
 	if err == nil {
 		t.Errorf("unknown kind accepted: %+v", resp)
 	}
@@ -178,7 +179,7 @@ func TestMultipleClients(t *testing.T) {
 				return
 			}
 			defer cli.Close()
-			_, err = cli.Headers(0)
+			_, err = cli.Headers(context.Background(), 0)
 			done <- err
 		}()
 	}
@@ -214,7 +215,7 @@ func TestRemoteSkipVOOverWire(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cli.Close()
-	headers, err := cli.Headers(0)
+	headers, err := cli.Headers(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +224,7 @@ func TestRemoteSkipVOOverWire(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := core.Query{StartBlock: 0, EndBlock: 7, Bool: core.CNF{core.KeywordClause("tesla")}, Width: 4}
-	vo, err := cli.Query(q, false)
+	vo, err := cli.Query(context.Background(), q, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestServerCloseStopsAccepting(t *testing.T) {
 		// on the first request.
 		cli, _ := Dial(addr)
 		if cli != nil {
-			if _, err := cli.Headers(0); err == nil {
+			if _, err := cli.Headers(context.Background(), 0); err == nil {
 				t.Error("closed server answered")
 			}
 		}
@@ -273,11 +274,11 @@ func TestRemoteStats(t *testing.T) {
 
 	q := core.Query{StartBlock: 0, EndBlock: 2, Bool: core.CNF{core.KeywordClause("sedan")}, Width: 4}
 	for i := 0; i < 3; i++ {
-		if _, err := cli.Query(q, false); err != nil {
+		if _, err := cli.Query(context.Background(), q, false); err != nil {
 			t.Fatal(err)
 		}
 	}
-	st, err := cli.Stats()
+	st, err := cli.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

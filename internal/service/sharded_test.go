@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -38,7 +39,7 @@ func startShardedServer(t *testing.T) (string, accumulator.Accumulator) {
 
 func shardedLight(t *testing.T, cli *Client) *chain.LightStore {
 	t.Helper()
-	headers, err := cli.Headers(0)
+	headers, err := cli.Headers(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestRemoteShardedQueryParts(t *testing.T) {
 	light := shardedLight(t, cli)
 
 	q := core.Query{StartBlock: 0, EndBlock: 3, Bool: core.CNF{core.KeywordClause("sedan")}, Width: 4}
-	parts, err := cli.QueryParts(q, false)
+	parts, err := cli.QueryParts(context.Background(), q, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestRemoteShardedQueryParts(t *testing.T) {
 	}
 
 	// The legacy single-VO accessor must not silently drop parts.
-	if _, err := cli.Query(q, false); err == nil || !strings.Contains(err.Error(), "QueryParts") {
+	if _, err := cli.Query(context.Background(), q, false); err == nil || !strings.Contains(err.Error(), "QueryParts") {
 		t.Fatalf("legacy Query on a multi-part answer: err = %v, want a QueryParts redirect", err)
 	}
 }
@@ -96,7 +97,7 @@ func TestRemoteShardedSingleShardWindow(t *testing.T) {
 	light := shardedLight(t, cli)
 
 	q := core.Query{StartBlock: 2, EndBlock: 2, Bool: core.CNF{core.KeywordClause("sedan")}, Width: 4}
-	vo, err := cli.Query(q, false)
+	vo, err := cli.Query(context.Background(), q, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestRemoteShardedQueryVerified(t *testing.T) {
 	light := shardedLight(t, cli)
 
 	q := core.Query{StartBlock: 0, EndBlock: 3, Bool: core.CNF{core.KeywordClause("sedan")}, Width: 4}
-	results, err := cli.QueryVerified(q, true, &core.Verifier{Acc: acc, Light: light})
+	results, err := cli.QueryVerified(context.Background(), q, true, &core.Verifier{Acc: acc, Light: light})
 	if err != nil {
 		t.Fatal(err)
 	}

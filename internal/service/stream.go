@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -55,6 +56,7 @@ type Subscription struct {
 	C <-chan Delivery
 
 	c   *Client
+	gen *genState // the connection generation this stream lives on
 	q   core.Query
 	cfg SubscribeConfig
 	out chan Delivery
@@ -83,20 +85,27 @@ func (c *Client) Subscribe(q core.Query, cfg SubscribeConfig) (*Subscription, er
 	c.mu.Lock()
 	c.subscribing++
 	c.mu.Unlock()
-	resp, err := c.roundTrip(&Request{Kind: "subscribe", Query: q})
+	resp, gen, err := c.roundTrip(context.Background(), &Request{Kind: "subscribe", Query: q})
 
 	c.mu.Lock()
 	c.subscribing--
 	// The connection may have died right after delivering the ack:
 	// fail() has already swept c.subs and will not run again, so
-	// registering now would create a stream nothing ever ends.
-	if err == nil && c.err != nil {
-		err = c.err
+	// registering now would create a stream nothing ever ends. A
+	// reconnect in the same window is the same hazard with fresh maps —
+	// the server that acked this subscription is gone, so registering
+	// against the new generation would also orphan the stream.
+	if err == nil && (c.err != nil || c.gen != gen) {
+		if c.err != nil {
+			err = c.err
+		} else {
+			err = fmt.Errorf("service: connection reset while subscribing: %w", gen.err)
+		}
 	}
 	var sub *Subscription
 	if err == nil {
 		sub = &Subscription{
-			c: c, q: q, cfg: cfg,
+			c: c, gen: gen, q: q, cfg: cfg,
 			ID:     resp.SubID,
 			out:    make(chan Delivery, c.cfg.SubBuffer),
 			signal: make(chan struct{}, 1),
@@ -133,7 +142,7 @@ func (c *Client) Subscribe(q core.Query, cfg SubscribeConfig) (*Subscription, er
 // C closes.
 func (s *Subscription) Close() error {
 	s.closeOnce.Do(func() {
-		resp, err := s.c.roundTrip(&Request{Kind: "unsubscribe", SubID: s.ID})
+		resp, _, err := s.c.roundTrip(context.Background(), &Request{Kind: "unsubscribe", SubID: s.ID})
 		s.c.mu.Lock()
 		if s.c.subs[s.ID] == s {
 			delete(s.c.subs, s.ID)
@@ -182,13 +191,16 @@ func (s *Subscription) enqueue(pub *subscribe.Publication) {
 func (s *Subscription) abandonRemote() {
 	s.closeOnce.Do(func() {
 		s.c.mu.Lock()
-		dead := s.c.err != nil
+		// Only tell the SP while the stream's own generation is still
+		// current and alive: after a reconnect, the server that knew
+		// this subscription id is gone.
+		dead := s.c.err != nil || s.c.gen != s.gen
 		if s.c.subs[s.ID] == s {
 			delete(s.c.subs, s.ID)
 		}
 		s.c.mu.Unlock()
 		if !dead {
-			_, _ = s.c.roundTrip(&Request{Kind: "unsubscribe", SubID: s.ID})
+			_, _, _ = s.c.roundTrip(context.Background(), &Request{Kind: "unsubscribe", SubID: s.ID})
 		}
 	})
 }
@@ -256,12 +268,13 @@ func (s *Subscription) run() {
 		// queued deliveries are moot once the connection is gone).
 		select {
 		case s.out <- s.verify(pub):
-		case <-s.c.done:
+		case <-s.gen.done:
 			// Record the terminal error before closing so Err is
 			// already set when the consumer sees the closed channel.
-			s.c.mu.Lock()
-			err := s.c.err
-			s.c.mu.Unlock()
+			// gen.err is immutable once gen.done closes, and this
+			// stream's lifetime is bound to its own generation — a
+			// reconnect must not resurrect it.
+			err := s.gen.err
 			s.mu.Lock()
 			if s.failErr == nil {
 				s.failErr = err
@@ -311,7 +324,7 @@ func (s *Subscription) verify(pub *subscribe.Publication) Delivery {
 	// span's newest block. The SP supplies the headers but cannot
 	// forge them — SyncHeaders re-checks linkage and proof-of-work.
 	if s.cfg.Light.Height() <= pub.To {
-		if err := s.c.SyncHeaders(s.cfg.Light); err != nil {
+		if err := s.c.SyncHeaders(context.Background(), s.cfg.Light); err != nil {
 			d.Err = fmt.Errorf("service: header sync for publication [%d,%d]: %w",
 				pub.From, pub.To, err)
 			return d

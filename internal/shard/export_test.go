@@ -1,0 +1,21 @@
+package shard
+
+// DropADSForTest removes height h's ADS from its owning shard,
+// simulating in-RAM state loss so tests can trigger deterministic
+// mid-query failures without touching the storage layer.
+func (n *Node) DropADSForTest(h int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.shards[n.owner(h)].adss, h)
+}
+
+// RecordHeightForTest exposes recordHeight for the record-placement
+// unit tests.
+func (n *Node) RecordHeightForTest(shard, r int) int { return n.recordHeight(shard, r) }
+
+// OwnedRecordsForTest exposes ownedRecords for the record-placement
+// unit tests.
+func (n *Node) OwnedRecordsForTest(shard, h int) int { return n.ownedRecords(shard, h) }
+
+// OwnerForTest exposes the height-to-shard routing.
+func (n *Node) OwnerForTest(h int) int { return n.owner(h) }

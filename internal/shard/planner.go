@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -46,57 +47,146 @@ func (n *Node) spans(start, end int) []span {
 // through one randomized pairing-product batch, and the merged result
 // set is byte-identical to the unsharded SP's (skips only ever elide
 // result-free blocks).
-func (n *Node) TimeWindowParts(q core.Query, batched bool) ([]core.WindowPart, error) {
+//
+// This is the strict path: a quarantined shard in the plan, or any
+// span failure, fails the whole query. The first error cancels the
+// remaining fan-out — sibling shards stop at their next block instead
+// of proving a window nobody will read.
+func (n *Node) TimeWindowParts(ctx context.Context, q core.Query, batched bool) ([]core.WindowPart, error) {
+	parts, _, err := n.scatter(ctx, q, batched, false)
+	return parts, err
+}
+
+// TimeWindowDegraded is the degraded-read path: quarantined shards'
+// spans — and spans whose shard fails mid-query — are returned as Gaps
+// instead of failing the query, so the client still gets every
+// provable part of the window plus a machine-readable account of what
+// is missing. The parts and gaps together tile the window exactly;
+// Verifier.VerifyDegraded checks that tiling cryptographically, so a
+// gap can hide nothing silently. A context error still fails the whole
+// call — a deadline is the caller's budget, not a shard fault.
+func (n *Node) TimeWindowDegraded(ctx context.Context, q core.Query, batched bool) ([]core.WindowPart, []core.Gap, error) {
+	return n.scatter(ctx, q, batched, true)
+}
+
+// scatter is the planner's engine: it validates the window, plans the
+// spans, fans out per-owner goroutines, and assembles parts (and, in
+// degraded mode, gaps) in plan order.
+func (n *Node) scatter(ctx context.Context, q core.Query, batched, degraded bool) ([]core.WindowPart, []core.Gap, error) {
 	if _, err := q.CNF(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if q.StartBlock < 0 || q.EndBlock < q.StartBlock {
-		return nil, fmt.Errorf("shard: invalid block window [%d, %d]", q.StartBlock, q.EndBlock)
+		return nil, nil, fmt.Errorf("shard: invalid block window [%d, %d]", q.StartBlock, q.EndBlock)
 	}
 	if q.EndBlock >= n.store.Height() {
-		return nil, fmt.Errorf("shard: window end %d beyond chain height %d", q.EndBlock, n.store.Height())
+		return nil, nil, fmt.Errorf("shard: window end %d beyond chain height %d", q.EndBlock, n.store.Height())
 	}
 
 	plan := n.spans(q.StartBlock, q.EndBlock)
-	parts := make([]core.WindowPart, len(plan))
+	results := make([]*core.VO, len(plan))
+	skipped := make([]bool, len(plan)) // true: span becomes a gap (degraded only)
+
+	// Quarantined owners shed load before any work is spawned: strict
+	// queries fail fast, degraded ones turn the spans into gaps.
+	quarantined := make(map[int]bool)
+	for _, s := range plan {
+		if quarantined[s.owner] || n.shards[s.owner].admit() {
+			continue
+		}
+		if !degraded {
+			return nil, nil, fmt.Errorf("shard %d: span [%d,%d]: %w", s.owner, s.start, s.end, ErrShardUnavailable)
+		}
+		quarantined[s.owner] = true
+	}
+	for i, s := range plan {
+		if quarantined[s.owner] {
+			skipped[i] = true
+		}
+	}
 
 	// Group the plan by owner: one goroutine per covering shard, each
 	// working through its spans sequentially on its own engine.
 	byOwner := make(map[int][]int)
 	for i, s := range plan {
+		if skipped[i] {
+			continue
+		}
 		byOwner[s.owner] = append(byOwner[s.owner], i)
 	}
+
+	// The derived context is the fan-out's kill switch: the first
+	// fatal error cancels it, and every sibling goroutine aborts at
+	// its next per-block check instead of leaking until wg.Wait.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
 	var (
 		wg       sync.WaitGroup
 		errMu    sync.Mutex
 		firstErr error
 	)
+	fatal := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		errMu.Unlock()
+	}
 	for owner, idxs := range byOwner {
 		w := n.shards[owner]
 		wg.Add(1)
 		go func(w *worker, idxs []int) {
 			defer wg.Done()
 			sp := &core.SP{Acc: n.builder.Acc, View: n, Batch: batched, Engine: w.engine}
-			for _, i := range idxs {
+			for k, i := range idxs {
 				sub := q
 				sub.StartBlock, sub.EndBlock = plan[i].start, plan[i].end
-				vo, err := sp.TimeWindowQuery(sub)
-				if err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("shard %d: span [%d,%d]: %w", w.id, sub.StartBlock, sub.EndBlock, err)
-					}
-					errMu.Unlock()
+				vo, err := sp.TimeWindowQueryCtx(ctx, sub)
+				if err == nil {
+					results[i] = vo
+					continue
+				}
+				if !degraded || ctx.Err() != nil {
+					// Strict mode, or the deadline/cancel reached us:
+					// the whole query fails.
+					fatal(fmt.Errorf("shard %d: span [%d,%d]: %w", w.id, sub.StartBlock, sub.EndBlock, err))
 					return
 				}
-				parts[i] = core.WindowPart{Start: sub.StartBlock, End: sub.EndBlock, VO: vo}
+				// Degraded mode: this shard just proved itself sick.
+				// Its failed span and everything it still owed become
+				// gaps; the failure feeds the breaker so repeated
+				// sickness quarantines it.
+				w.fail(err, n.opts.FailureThreshold)
+				for _, j := range idxs[k:] {
+					skipped[j] = true
+				}
+				return
 			}
 		}(w, idxs)
 	}
 	wg.Wait()
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, nil, firstErr
 	}
-	return parts, nil
+
+	// Assemble in plan order (descending by height). Adjacent gaps
+	// merge so a two-span outage reads as one hole.
+	var (
+		parts []core.WindowPart
+		gaps  []core.Gap
+	)
+	for i, s := range plan {
+		if skipped[i] {
+			if len(gaps) > 0 && gaps[len(gaps)-1].Start == s.end+1 {
+				gaps[len(gaps)-1].Start = s.start
+			} else {
+				gaps = append(gaps, core.Gap{Start: s.start, End: s.end})
+			}
+			continue
+		}
+		parts = append(parts, core.WindowPart{Start: s.start, End: s.end, VO: results[i]})
+	}
+	return parts, gaps, nil
 }

@@ -1,0 +1,100 @@
+package shard_test
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/vchain-go/vchain/internal/shard"
+)
+
+// TestPlannerCancelsSiblingsOnError is the regression test for the
+// fan-out goroutine leak: when one shard's span fails early, the
+// planner must cancel the derived context so sibling goroutines abort
+// at their next per-block check instead of proving the rest of their
+// spans for nobody. Run with -race.
+func TestPlannerCancelsSiblingsOnError(t *testing.T) {
+	acc := testAcc(t)
+	node := shard.New(0, testBuilder(acc), shard.Options{Shards: 2, Band: 1, Workers: 2})
+	defer node.Close()
+	const blocks = 24
+	mineBlocks(t, node, blocks)
+
+	// Shard 1 owns every odd height; killing its topmost ADS makes its
+	// goroutine fail on the very first block of the walk, while shard 0
+	// still owes 12 single-block spans.
+	node.DropADSForTest(blocks - 1)
+
+	before := runtime.NumGoroutine()
+	q := sedanBenzQuery(0, blocks-1)
+	if _, err := node.TimeWindowParts(context.Background(), q, false); err == nil {
+		t.Fatal("query over a missing ADS succeeded")
+	} else if !strings.Contains(err.Error(), "no ADS") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+
+	// Every fan-out goroutine must be gone shortly after the call
+	// returns (wg.Wait drains them; cancellation makes the drain fast).
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("fan-out goroutines leaked: %d live, %d before the query",
+				runtime.NumGoroutine(), before)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPlannerHonorsContextCancel checks deadline propagation from the
+// caller through the fan-out: an already-canceled context fails the
+// query without touching any shard.
+func TestPlannerHonorsContextCancel(t *testing.T) {
+	acc := testAcc(t)
+	node := shard.New(0, testBuilder(acc), shard.Options{Shards: 2, Band: 2, Workers: 2})
+	defer node.Close()
+	mineBlocks(t, node, 4)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := node.TimeWindowParts(ctx, sedanBenzQuery(0, 3), false); err == nil {
+		t.Fatal("canceled context did not fail the query")
+	}
+}
+
+// TestRecordPlacement pins the record-index ↔ height bijection that
+// shard restarts rely on.
+func TestRecordPlacement(t *testing.T) {
+	acc := testAcc(t)
+	node := shard.New(0, testBuilder(acc), shard.Options{Shards: 3, Band: 2, Workers: 1})
+	defer node.Close()
+
+	const height = 20
+	counts := make([]int, 3)
+	for h := 0; h < height; h++ {
+		o := node.OwnerForTest(h)
+		r := counts[o]
+		counts[o]++
+		if got := node.RecordHeightForTest(o, r); got != h {
+			t.Fatalf("recordHeight(%d, %d) = %d, want %d", o, r, got, h)
+		}
+	}
+	for s := 0; s < 3; s++ {
+		if got := node.OwnedRecordsForTest(s, height); got != counts[s] {
+			t.Fatalf("ownedRecords(%d, %d) = %d, want %d", s, height, got, counts[s])
+		}
+		// Partial chains too.
+		for h := 0; h <= height; h++ {
+			want := 0
+			for x := 0; x < h; x++ {
+				if node.OwnerForTest(x) == s {
+					want++
+				}
+			}
+			if got := node.OwnedRecordsForTest(s, h); got != want {
+				t.Fatalf("ownedRecords(%d, %d) = %d, want %d", s, h, got, want)
+			}
+		}
+	}
+}

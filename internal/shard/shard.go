@@ -72,7 +72,27 @@ type Options struct {
 	// Storage configures each shard's segmented-log backend (durable
 	// nodes only).
 	Storage storage.Options
+	// FailureThreshold is the number of consecutive backend failures
+	// that trips a shard's circuit breaker (quarantine). 0 means
+	// DefaultFailureThreshold; negative disables the breaker.
+	FailureThreshold int
+	// BreakerCooldown is how long a quarantined shard sheds load
+	// before the supervisor attempts a restart. 0 means
+	// DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
+	// WrapBackend, when set, wraps every shard backend as it is
+	// created or re-opened — the hook fault injection (internal/fault)
+	// uses to sit between a shard and its disk.
+	WrapBackend func(shard int, b storage.Backend) storage.Backend
 }
+
+// DefaultFailureThreshold is the consecutive-failure count that trips
+// a shard's breaker when Options.FailureThreshold is zero.
+const DefaultFailureThreshold = 3
+
+// DefaultBreakerCooldown is the quarantine cooldown before restart
+// attempts when Options.BreakerCooldown is zero.
+const DefaultBreakerCooldown = 5 * time.Second
 
 func (o Options) withDefaults() Options {
 	if o.Shards < 1 {
@@ -84,18 +104,35 @@ func (o Options) withDefaults() Options {
 	if o.Workers < 1 {
 		o.Workers = o.Shards
 	}
+	if o.FailureThreshold == 0 {
+		o.FailureThreshold = DefaultFailureThreshold
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = DefaultBreakerCooldown
+	}
 	return o
 }
 
 // worker is one shard: its backend, proof engine, and the decoded ADSs
-// of the heights it owns. The router's mutex guards adss; the worker
-// has no lock of its own.
+// of the heights it owns. The router's mutex guards adss and backend;
+// the worker's own hmu guards only the health state machine (health.go)
+// so health can be read without the router lock.
 type worker struct {
 	id      int
 	dir     string
 	backend storage.Backend
 	engine  *proofs.Engine
 	adss    map[int]*core.BlockADS
+
+	// Health state machine — see health.go. Guarded by hmu.
+	hmu         sync.Mutex
+	health      Health
+	consecutive int
+	failures    uint64
+	restarts    uint64
+	trips       uint64
+	trippedAt   time.Time
+	lastErr     error
 }
 
 // Node is a sharded miner/SP. It implements core.ChainView (the global
@@ -104,6 +141,10 @@ type worker struct {
 type Node struct {
 	builder *core.Builder
 	opts    Options
+
+	// dir is the store root for durable nodes; empty for ephemeral
+	// nodes. RestartShard re-opens a shard's log relative to it.
+	dir string
 
 	// store is the global block index (headers, hash lookup,
 	// validation); only ADSs and their persistence are sharded.
@@ -185,9 +226,17 @@ func newNode(difficulty chain.Difficulty, b *core.Builder, opts Options) *Node {
 func New(difficulty chain.Difficulty, b *core.Builder, opts Options) *Node {
 	n := newNode(difficulty, b, opts.withDefaults())
 	for _, w := range n.shards {
-		w.backend = storage.NewNull()
+		w.backend = n.wrap(w.id, storage.NewNull())
 	}
 	return n
+}
+
+// wrap applies the configured backend wrapper, if any.
+func (n *Node) wrap(shard int, b storage.Backend) storage.Backend {
+	if n.opts.WrapBackend == nil {
+		return b
+	}
+	return n.opts.WrapBackend(shard, b)
 }
 
 // shardDir names shard i's subdirectory.
@@ -225,6 +274,7 @@ func Open(difficulty chain.Difficulty, b *core.Builder, dir string, opts Options
 	}
 
 	n := newNode(difficulty, b, opts)
+	n.dir = dir
 	report := &RecoveryReport{Shards: make([]ShardReport, opts.Shards)}
 	closeAll := func() {
 		for _, w := range n.shards {
@@ -240,7 +290,7 @@ func Open(difficulty chain.Difficulty, b *core.Builder, dir string, opts Options
 			closeAll()
 			return nil, nil, fmt.Errorf("shard %d: %w", i, err)
 		}
-		w.backend = log
+		w.backend = n.wrap(i, log)
 		report.Shards[i] = ShardReport{Dir: w.dir, Log: log.Report()}
 	}
 
@@ -342,6 +392,13 @@ func (n *Node) commit(blk *chain.Block, ads *core.BlockADS, persist bool) error 
 		return err
 	}
 	w := n.shards[n.owner(height)]
+	// Circuit breaker: a quarantined shard sheds load instead of
+	// hammering a sick backend. Heights are sequential, so mining
+	// stalls (fail-fast, no state touched) until the supervisor
+	// restores the shard.
+	if !w.admit() {
+		return fmt.Errorf("shard %d: committing block %d: %w", w.id, height, ErrShardUnavailable)
+	}
 	if _, ephemeral := w.backend.(storage.Ephemeral); ephemeral {
 		persist = false
 	}
@@ -352,8 +409,10 @@ func (n *Node) commit(blk *chain.Block, ads *core.BlockADS, persist bool) error 
 			return err
 		}
 		if err := w.backend.Append(data); err != nil {
+			w.fail(err, n.opts.FailureThreshold)
 			return fmt.Errorf("shard %d: persisting block %d: %w", w.id, height, err)
 		}
+		w.ok()
 	}
 	if err := n.store.Append(blk); err != nil {
 		// Unreachable after ValidateCommit (commits are serialized),
@@ -463,11 +522,12 @@ func (n *Node) Band() int { return n.opts.Band }
 // budget with the shard engines.
 func (n *Node) ProofEngine() *proofs.Engine { return n.router }
 
-// ShardStats snapshots each shard engine's counters, in shard order.
-func (n *Node) ShardStats() []proofs.Stats {
-	out := make([]proofs.Stats, len(n.shards))
+// ShardStats snapshots each shard's health and proof-engine counters,
+// in shard order.
+func (n *Node) ShardStats() []Stats {
+	out := make([]Stats, len(n.shards))
 	for i, w := range n.shards {
-		out[i] = w.engine.Stats()
+		out[i] = w.stats()
 	}
 	return out
 }
@@ -477,7 +537,7 @@ func (n *Node) ShardStats() []proofs.Stats {
 func (n *Node) ProofStats() proofs.Stats {
 	total := n.router.Stats()
 	for _, s := range n.ShardStats() {
-		total = total.Add(s)
+		total = total.Add(s.Proofs)
 	}
 	return total
 }

@@ -1,6 +1,7 @@
 package shard_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -105,7 +106,7 @@ func TestShardedMatchesUnsharded(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			parts, err := node.TimeWindowParts(q, false)
+			parts, err := node.TimeWindowParts(context.Background(), q, false)
 			if err != nil {
 				t.Fatalf("%d shards window %v: %v", shards, w, err)
 			}
@@ -143,7 +144,7 @@ func TestShardedBatchedParts(t *testing.T) {
 	ver := &core.Verifier{Acc: acc, Light: light}
 
 	q := sedanBenzQuery(0, blocks-1)
-	parts, err := node.TimeWindowParts(q, true)
+	parts, err := node.TimeWindowParts(context.Background(), q, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestConcurrentMineAndQueryShards(t *testing.T) {
 					return
 				}
 				q := sedanBenzQuery(0, light.Height()-1)
-				parts, err := node.TimeWindowParts(q, false)
+				parts, err := node.TimeWindowParts(context.Background(), q, false)
 				if err != nil {
 					// The chain may have grown past the synced headers
 					// between Sync and the query; that is the only
@@ -296,7 +297,7 @@ func TestReopenTornTail(t *testing.T) {
 	light := lightFor(t, node.Headers())
 	ver := &core.Verifier{Acc: acc, Light: light}
 	q := sedanBenzQuery(0, 6)
-	parts, err := node.TimeWindowParts(q, false)
+	parts, err := node.TimeWindowParts(context.Background(), q, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +361,7 @@ func TestWindowPartsRejectsBadTiling(t *testing.T) {
 	ver := &core.Verifier{Acc: acc, Light: light}
 
 	q := sedanBenzQuery(0, blocks-1)
-	parts, err := node.TimeWindowParts(q, false)
+	parts, err := node.TimeWindowParts(context.Background(), q, false)
 	if err != nil {
 		t.Fatal(err)
 	}

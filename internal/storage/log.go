@@ -52,6 +52,29 @@ type Options struct {
 	// NoSync disables the per-append fsync. Throughput benchmarks
 	// only: a crash may lose acknowledged records.
 	NoSync bool
+	// Hooks inject faults into the log's file I/O (fsync failures,
+	// torn frame writes). Nil — the production configuration — injects
+	// nothing. Tests and chaos drills (internal/fault) use them to
+	// exercise the recovery paths deterministically.
+	Hooks *Hooks
+}
+
+// Hooks intercept the log's file I/O for fault injection. Each hook is
+// consulted on the append path only; recovery and truncation always
+// run against the real file so an injected fault never cascades into
+// destroying valid records.
+type Hooks struct {
+	// Sync, when non-nil, is consulted in place of each append-path
+	// fsync (record appends and new-segment creation): returning an
+	// error surfaces it as the fsync failure and skips the real sync;
+	// returning nil performs the real fsync.
+	Sync func() error
+	// Write, when non-nil, is consulted before each record frame
+	// write. Returning (n, err) with err != nil tears the write: only
+	// frame[:n] reaches the file and Append fails with err — exactly
+	// what a crash mid-write leaves behind. Returning (_, nil) lets
+	// the write through untouched.
+	Write func(frame []byte) (int, error)
 }
 
 func (o Options) withDefaults() Options {
@@ -281,6 +304,17 @@ func (l *Log) truncateSegment(f *os.File, path string, st os.FileInfo, off, size
 	return nil
 }
 
+// syncSeg fsyncs a segment file on the append path, consulting the
+// Sync hook first: a hook error surfaces as the fsync failure.
+func (l *Log) syncSeg(f *os.File) error {
+	if h := l.opts.Hooks; h != nil && h.Sync != nil {
+		if err := h.Sync(); err != nil {
+			return err
+		}
+	}
+	return f.Sync()
+}
+
 func (l *Log) syncDir() error {
 	if err := l.dirF.Sync(); err != nil {
 		return fmt.Errorf("storage: syncing log dir: %w", err)
@@ -336,11 +370,29 @@ func (l *Log) Append(data []byte) error {
 	binary.BigEndian.PutUint32(frame[:4], uint32(len(data)))
 	binary.BigEndian.PutUint32(frame[4:8], crc32.Checksum(data, crcTable))
 	copy(frame[recHeaderLen:], data)
+	if h := l.opts.Hooks; h != nil && h.Write != nil {
+		if n, werr := h.Write(frame); werr != nil {
+			// Injected torn write: land only the prefix, exactly as a
+			// crash mid-write would, then fail the append. The record is
+			// not indexed; reopen recovers via truncate-to-last-valid.
+			if n < 0 {
+				n = 0
+			} else if n > len(frame) {
+				n = len(frame)
+			}
+			if n > 0 {
+				if _, err := seg.f.WriteAt(frame[:n], seg.size); err != nil {
+					return fmt.Errorf("storage: appending record: %w", err)
+				}
+			}
+			return fmt.Errorf("storage: appending record: %w", werr)
+		}
+	}
 	if _, err := seg.f.WriteAt(frame, seg.size); err != nil {
 		return fmt.Errorf("storage: appending record: %w", err)
 	}
 	if !l.opts.NoSync {
-		if err := seg.f.Sync(); err != nil {
+		if err := l.syncSeg(seg.f); err != nil {
 			return fmt.Errorf("storage: syncing segment: %w", err)
 		}
 	}
@@ -369,7 +421,7 @@ func (l *Log) newSegment() (*segment, error) {
 		return nil, fmt.Errorf("storage: writing segment magic: %w", err)
 	}
 	if !l.opts.NoSync {
-		if err := f.Sync(); err != nil {
+		if err := l.syncSeg(f); err != nil {
 			f.Close()
 			return nil, err
 		}

@@ -1,8 +1,10 @@
 package vchain
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/vchain-go/vchain/internal/chain"
 	"github.com/vchain-go/vchain/internal/core"
@@ -32,9 +34,11 @@ type ShardedNode struct {
 // shardOptions maps the system configuration onto shard options.
 func (s *System) shardOptions(shards int) shard.Options {
 	return shard.Options{
-		Shards:    shards,
-		Workers:   s.cfg.SPWorkers,
-		CacheSize: s.cfg.ProofCacheSize,
+		Shards:           shards,
+		Workers:          s.cfg.SPWorkers,
+		CacheSize:        s.cfg.ProofCacheSize,
+		FailureThreshold: s.cfg.ShardFailureThreshold,
+		BreakerCooldown:  s.cfg.ShardBreakerCooldown,
 	}
 }
 
@@ -110,13 +114,46 @@ func (n *ShardedNode) BlockAt(height int) (*Block, error) { return n.node.Store(
 // tiling the window). Verify with LightClient.VerifyParts; results are
 // embedded (WindowPart.VO.Results()).
 func (n *ShardedNode) TimeWindow(q Query) ([]WindowPart, error) {
-	return n.node.TimeWindowParts(q, false)
+	return n.node.TimeWindowParts(context.Background(), q, false)
 }
 
 // TimeWindowBatched is TimeWindow with online batch verification
 // (§6.3) enabled per shard.
 func (n *ShardedNode) TimeWindowBatched(q Query) ([]WindowPart, error) {
-	return n.node.TimeWindowParts(q, true)
+	return n.node.TimeWindowParts(context.Background(), q, true)
+}
+
+// TimeWindowDegraded answers a time-window query in degraded-read
+// mode: sub-windows owned by quarantined (or mid-query failing) shards
+// come back as machine-readable Gaps instead of failing the whole
+// query. Parts and gaps together tile the window, descending; verify
+// the pair with LightClient.VerifyDegraded.
+func (n *ShardedNode) TimeWindowDegraded(q Query) ([]WindowPart, []Gap, error) {
+	return n.node.TimeWindowDegraded(context.Background(), q, false)
+}
+
+// Health reports one shard's current health state.
+func (n *ShardedNode) Health(shardIdx int) ShardHealth { return n.node.Health(shardIdx) }
+
+// Quarantine trips one shard's circuit breaker by hand (operational
+// fencing: e.g. its disk is known-bad). Strict queries touching the
+// shard fail with ErrShardUnavailable; degraded reads gap it out. The
+// supervisor (or RestartShard) brings it back.
+func (n *ShardedNode) Quarantine(shardIdx int, reason error) error {
+	return n.node.Quarantine(shardIdx, reason)
+}
+
+// RestartShard re-opens one quarantined shard from its durable log:
+// torn-tail recovery, surplus-record truncation, and a full header
+// re-verification of every restored block against the chain index. On
+// success the shard is healthy and serving again.
+func (n *ShardedNode) RestartShard(shardIdx int) error { return n.node.RestartShard(shardIdx) }
+
+// Supervise starts the shard supervisor: every interval it scans for
+// quarantined shards past their breaker cooldown and restarts them
+// from their logs. It returns a stop function; call it before Close.
+func (n *ShardedNode) Supervise(interval time.Duration) (stop func()) {
+	return n.node.Supervise(interval)
 }
 
 // WindowByTime resolves a timestamp window [ts, te] to block heights.
@@ -128,8 +165,9 @@ func (n *ShardedNode) WindowByTime(ts, te int64) (start, end int, ok bool) {
 // the router engine serving subscriptions).
 func (n *ShardedNode) ProofStats() ProofStats { return n.node.ProofStats() }
 
-// ShardStats snapshots each shard engine's counters, in shard order.
-func (n *ShardedNode) ShardStats() []ProofStats { return n.node.ShardStats() }
+// ShardStats snapshots each shard's operational state, in shard
+// order: health, proof counters, and failure/restart/breaker totals.
+func (n *ShardedNode) ShardStats() []ShardStat { return n.node.ShardStats() }
 
 // Serve exposes this node over TCP at addr ("127.0.0.1:0" picks a
 // port): remote light clients sync headers, run verifiable queries
@@ -180,4 +218,16 @@ func (n *ShardedNode) Core() *shard.Node { return n.node }
 func (c *LightClient) VerifyParts(q Query, parts []WindowPart) ([]Object, error) {
 	v := &core.Verifier{Acc: c.sys.acc, Light: c.light, Workers: c.sys.cfg.VerifyWorkers}
 	return v.VerifyWindowParts(q, parts)
+}
+
+// VerifyDegraded checks a degraded time-window answer: the parts must
+// verify cryptographically AND, together with the declared gaps, tile
+// the query window exactly — a gap can neither hide a covered height
+// nor smuggle one in twice. When gaps are present the verified result
+// comes back alongside ErrDegraded, so a partial answer is never
+// mistaken for a complete one; with no gaps the behavior (and result)
+// is exactly VerifyParts.
+func (c *LightClient) VerifyDegraded(q Query, parts []WindowPart, gaps []Gap) (*DegradedResult, error) {
+	v := &core.Verifier{Acc: c.sys.acc, Light: c.light, Workers: c.sys.cfg.VerifyWorkers}
+	return v.VerifyDegraded(q, parts, gaps)
 }

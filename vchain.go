@@ -30,6 +30,7 @@ package vchain
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/vchain-go/vchain/internal/accumulator"
 	"github.com/vchain-go/vchain/internal/chain"
@@ -67,6 +68,19 @@ type (
 	// returns parts; LightClient.VerifyParts settles their union in
 	// one pairing batch.
 	WindowPart = core.WindowPart
+	// Gap is a contiguous sub-window a degraded answer could not
+	// prove (its owning shard was down).
+	Gap = core.Gap
+	// DegradedResult is a verified partial answer: objects and parts
+	// for the provable sub-windows plus the gaps, together tiling the
+	// query window (LightClient.VerifyDegraded enforces exactly that).
+	DegradedResult = core.DegradedResult
+	// ShardStat is one shard's operational snapshot: health state,
+	// proof counters, failure/restart/breaker-trip totals.
+	ShardStat = shard.Stats
+	// ShardHealth is a shard's health state (ShardHealthy /
+	// ShardDegraded / ShardQuarantined).
+	ShardHealth = shard.Health
 	// ShardRecovery reports a sharded store's reopen outcome.
 	ShardRecovery = shard.RecoveryReport
 	// ShardReport is one shard's recovery outcome within a
@@ -118,6 +132,26 @@ var (
 	ErrSoundness = core.ErrSoundness
 	// ErrCompleteness marks omitted results or uncovered windows.
 	ErrCompleteness = core.ErrCompleteness
+	// ErrDegraded accompanies a verified DegradedResult whose window
+	// has gaps: the answer is cryptographically sound but incomplete,
+	// and the caller must decide whether a partial window will do.
+	ErrDegraded = core.ErrDegraded
+	// ErrShardUnavailable marks a strict query that touched a
+	// quarantined shard (degraded reads turn it into a Gap instead).
+	ErrShardUnavailable = shard.ErrShardUnavailable
+)
+
+// Shard health states (ShardedNode.ShardStats, ShardedNode.Health).
+const (
+	// ShardHealthy is a shard operating normally.
+	ShardHealthy = shard.Healthy
+	// ShardDegraded is a shard with recent failures below the breaker
+	// threshold; it still serves but is one bad streak from
+	// quarantine.
+	ShardDegraded = shard.Degraded
+	// ShardQuarantined is a shard whose circuit breaker tripped: it
+	// rejects work until the supervisor restarts it from its log.
+	ShardQuarantined = shard.Quarantined
 )
 
 // Config selects the cryptographic and indexing configuration shared by
@@ -157,6 +191,13 @@ type Config struct {
 	// queries, subscriptions, and blocks are served from it. 0 means
 	// the engine default (4096 entries); negative disables caching.
 	ProofCacheSize int
+	// ShardFailureThreshold is the per-shard circuit breaker: that many
+	// consecutive backend failures quarantine the shard. 0 means the
+	// shard default (3); negative disables the breaker.
+	ShardFailureThreshold int
+	// ShardBreakerCooldown is how long a quarantined shard waits before
+	// the supervisor attempts a restart. 0 means the shard default (5s).
+	ShardBreakerCooldown time.Duration
 	// Seed, when non-empty, derives the accumulator trapdoor
 	// deterministically (reproducible benchmarks and tests only).
 	Seed []byte
