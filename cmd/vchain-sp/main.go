@@ -8,6 +8,14 @@
 //	vchain-sp -listen 127.0.0.1:7060 -dataset eth -blocks 32
 //	vchain-sp -listen 127.0.0.1:7060 -mine-interval 2s -sub-lazy
 //	vchain-sp -listen 127.0.0.1:7060 -store ./sp-data -blocks 32
+//	vchain-sp -http 127.0.0.1:7080 -tenants tenants.txt -rate 50
+//
+// With -http the SP additionally serves the HTTP/JSON gateway:
+// API-key tenants (provisioned via -tenants, rate-limited by -rate /
+// -global-rate, load-shed by -inflight) run verifiable queries over
+// plain JSON, and Prometheus-compatible scrapers read every proof,
+// shard, and traffic counter on /metrics. Use -metrics for a
+// scrape-only listener on a separate port.
 //
 // With -mine-interval the SP keeps mining (cycling the dataset) after
 // startup, fanning each new block's publications out to connected
@@ -34,6 +42,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
@@ -42,6 +53,7 @@ import (
 	"github.com/vchain-go/vchain/internal/chain"
 	"github.com/vchain-go/vchain/internal/core"
 	"github.com/vchain-go/vchain/internal/crypto/pairing"
+	"github.com/vchain-go/vchain/internal/gateway"
 	"github.com/vchain-go/vchain/internal/proofs"
 	"github.com/vchain-go/vchain/internal/service"
 	"github.com/vchain-go/vchain/internal/shard"
@@ -82,6 +94,14 @@ func main() {
 		breakerCD = flag.Duration("breaker-cooldown", 0, "quarantine cooldown before the supervisor retries a shard restart (0 = default 5s)")
 		supervise = flag.Duration("supervise", time.Second, "shard supervisor scan interval: restart quarantined shards from their logs (0 = off)")
 		healthLog = flag.Duration("health-log", 0, "print a one-line shard health summary every interval (0 = off)")
+
+		httpAddr    = flag.String("http", "", "HTTP/JSON gateway address: /v1 query API plus /metrics (empty = off)")
+		tenantsFile = flag.String("tenants", "", "tenant provisioning file, name:key[:rate[:burst]] per line (empty = open gateway)")
+		rate        = flag.Float64("rate", 0, "default per-tenant gateway rate in requests/second (0 = unlimited)")
+		burst       = flag.Int("burst", 0, "default per-tenant gateway burst (0 = derived from the rate)")
+		globalRate  = flag.Float64("global-rate", 0, "gateway-wide rate cap in requests/second (0 = unlimited)")
+		inflight    = flag.Int("inflight", 0, "gateway max concurrently processed requests (0 = default, <0 uncapped)")
+		metricsAddr = flag.String("metrics", "", "standalone scrape-only listener serving /metrics and /healthz (empty = off)")
 	)
 	flag.Parse()
 
@@ -195,6 +215,59 @@ func main() {
 	fmt.Println("query with:     vchain-query -sp", addr, "-preset", *preset, "-width", ds.Width)
 	fmt.Println("subscribe with: vchain-subscribe -sp", addr, "-preset", *preset, "-width", ds.Width)
 
+	// HTTP front door: the JSON query API with per-tenant admission
+	// control, and/or a standalone scrape-only metrics listener. Both
+	// draw from one gateway (one metric registry) layered over the same
+	// node the gob endpoint serves.
+	var gw *gateway.Gateway
+	if *httpAddr != "" || *metricsAddr != "" {
+		var tenants []gateway.Tenant
+		if *tenantsFile != "" {
+			tenants, err = gateway.LoadTenants(*tenantsFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vchain-sp:", err)
+				os.Exit(1)
+			}
+		}
+		gw, err = gateway.New(node, gateway.Config{
+			Tenants:     tenants,
+			TenantRate:  *rate,
+			TenantBurst: *burst,
+			GlobalRate:  *globalRate,
+			MaxInflight: *inflight,
+			Logger:      slog.New(slog.NewTextHandler(os.Stdout, nil)),
+			ServiceCounters: map[string]func() int64{
+				"evictions": func() int64 { return int64(srv.Evictions()) },
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vchain-sp:", err)
+			os.Exit(1)
+		}
+		if *httpAddr != "" {
+			haddr, err := gw.Serve(*httpAddr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vchain-sp:", err)
+				os.Exit(1)
+			}
+			defer gw.Close()
+			fmt.Printf("gateway on http://%s  (tenants=%d rate=%g inflight=%d)\n",
+				haddr, len(tenants), *rate, *inflight)
+			fmt.Printf("scrape with:    curl http://%s/metrics\n", haddr)
+		}
+		if *metricsAddr != "" {
+			mln, err := net.Listen("tcp", *metricsAddr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vchain-sp:", err)
+				os.Exit(1)
+			}
+			msrv := &http.Server{Handler: gw.MetricsHandler(), ReadHeaderTimeout: 10 * time.Second}
+			go msrv.Serve(mln)
+			defer msrv.Close()
+			fmt.Printf("metrics on http://%s/metrics\n", mln.Addr())
+		}
+	}
+
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)
 
@@ -274,6 +347,10 @@ func main() {
 	}
 	if ev := srv.Evictions(); ev > 0 {
 		fmt.Printf("slow consumers evicted: %d\n", ev)
+	}
+	if gw != nil {
+		fmt.Printf("gateway: %d requests served, %d VO bytes shipped\n",
+			gw.RequestsServed(), gw.VOBytesServed())
 	}
 }
 

@@ -1,0 +1,120 @@
+package vchain
+
+import (
+	"log/slog"
+	"time"
+
+	"github.com/vchain-go/vchain/internal/gateway"
+	"github.com/vchain-go/vchain/internal/service"
+)
+
+// GatewayTenant provisions one API-key principal of the HTTP gateway.
+type GatewayTenant = gateway.Tenant
+
+// LoadGatewayTenants parses a tenant provisioning file
+// ("name:key[:rate[:burst]]" per line, '#' comments).
+func LoadGatewayTenants(path string) ([]GatewayTenant, error) {
+	return gateway.LoadTenants(path)
+}
+
+// GatewayConfig tunes a node's HTTP front door: admission control
+// (tenants, token buckets, inflight cap), timeouts, and logging. The
+// zero value serves an open, unlimited-rate gateway.
+type GatewayConfig struct {
+	// Tenants are the provisioned API-key principals; empty means the
+	// gateway is open (anonymous tenant).
+	Tenants []GatewayTenant
+	// TenantRate / TenantBurst default the per-tenant token bucket
+	// (0 rate = unlimited).
+	TenantRate  float64
+	TenantBurst int
+	// GlobalRate / GlobalBurst cap the whole gateway.
+	GlobalRate  float64
+	GlobalBurst int
+	// MaxInflight caps concurrently processed requests (0 = default
+	// 64, negative = uncapped); excess load sheds with 429.
+	MaxInflight int
+	// QueryTimeout bounds one query's proof walk (0 = 30s).
+	QueryTimeout time.Duration
+	// WriteTimeout disconnects clients that stop draining responses
+	// (0 = the wire layer's frame timeout).
+	WriteTimeout time.Duration
+	// Logger receives structured request logs; nil disables them.
+	Logger *slog.Logger
+}
+
+// GatewayHandle is a running HTTP gateway endpoint.
+type GatewayHandle struct {
+	gw   *gateway.Gateway
+	addr string
+}
+
+// Addr returns the bound listen address.
+func (h *GatewayHandle) Addr() string { return h.addr }
+
+// Close stops the gateway and its open connections (the node keeps
+// running; any gob endpoint is unaffected).
+func (h *GatewayHandle) Close() error { return h.gw.Close() }
+
+// serveGateway is the shared implementation behind both node types.
+func serveGateway(node service.Chain, addr string, cfg GatewayConfig, counters map[string]func() int64) (*GatewayHandle, error) {
+	gw, err := gateway.New(node, gateway.Config{
+		Tenants:         cfg.Tenants,
+		TenantRate:      cfg.TenantRate,
+		TenantBurst:     cfg.TenantBurst,
+		GlobalRate:      cfg.GlobalRate,
+		GlobalBurst:     cfg.GlobalBurst,
+		MaxInflight:     cfg.MaxInflight,
+		QueryTimeout:    cfg.QueryTimeout,
+		WriteTimeout:    cfg.WriteTimeout,
+		Logger:          cfg.Logger,
+		ServiceCounters: counters,
+	})
+	if err != nil {
+		return nil, err
+	}
+	bound, err := gw.Serve(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &GatewayHandle{gw: gw, addr: bound}, nil
+}
+
+// ServeGateway exposes this node over HTTP/JSON at addr
+// ("127.0.0.1:0" picks a port): authenticated tenants run verifiable
+// time-window queries (each answer part carries its canonical VO
+// bytes for external verification), and scrapers read Prometheus-style
+// metrics on /metrics. A gateway runs alongside any gob endpoint
+// (Serve); the two share the node and its proof engine. The exported
+// vchain_service_evictions_total counter tracks the gob endpoint's
+// slow-consumer evictions when one is attached.
+func (n *FullNode) ServeGateway(addr string, cfg GatewayConfig) (*GatewayHandle, error) {
+	counters := map[string]func() int64{
+		"evictions": func() int64 {
+			n.mu.Lock()
+			defer n.mu.Unlock()
+			if n.srv == nil {
+				return 0
+			}
+			return int64(n.srv.Evictions())
+		},
+	}
+	return serveGateway(n.node, addr, cfg, counters)
+}
+
+// ServeGateway exposes the sharded node over HTTP/JSON; see
+// FullNode.ServeGateway. Per-shard health, failure, and restart
+// counters additionally surface as vchain_shard_* metric families.
+func (n *ShardedNode) ServeGateway(addr string, cfg GatewayConfig) (*GatewayHandle, error) {
+	counters := map[string]func() int64{
+		"evictions": func() int64 {
+			n.mu.Lock()
+			defer n.mu.Unlock()
+			if n.srv == nil {
+				return 0
+			}
+			return int64(n.srv.Evictions())
+		},
+	}
+	return serveGateway(n.node, addr, cfg, counters)
+}

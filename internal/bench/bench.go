@@ -318,6 +318,7 @@ var Experiments = map[string]func(Options) (*Table, error){
 	"fig21":   func(o Options) (*Table, error) { return SkipListFig(workload.WX, "Fig. 21", o) },
 	"fig22":   func(o Options) (*Table, error) { return SkipListFig(workload.ETH, "Fig. 22", o) },
 	"fault":   FaultFig,
+	"gateway": GatewayFig,
 	"restart": RestartFig,
 	"shard":   ShardFig,
 	"verify":  func(o Options) (*Table, error) { return VerifyBatchFig(workload.FSQ, o) },

@@ -1,0 +1,249 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/vchain-go/vchain/internal/core"
+	"github.com/vchain-go/vchain/internal/crypto/pairing"
+	"github.com/vchain-go/vchain/internal/gateway"
+	"github.com/vchain-go/vchain/internal/proofs"
+	"github.com/vchain-go/vchain/internal/service"
+	"github.com/vchain-go/vchain/internal/workload"
+)
+
+// gatewayRepeat is how many times each row replays the query set per
+// tenant — enough samples to average out scheduler noise without
+// making the CI smoke run slow.
+const gatewayRepeat = 4
+
+// GatewayFig measures the HTTP gateway against the raw gob service on
+// one node: the per-query cost the JSON front door adds over the wire
+// protocol (target: ≤10% — proving dominates, both front ends share
+// the same engine), how aggregate throughput behaves as concurrent
+// tenants grow, and what a tight per-tenant rate limit sheds. Proof
+// caching is off so every query pays the full prove cost — the
+// protocol overhead is measured against real work, not cache hits.
+func GatewayFig(o Options) (*Table, error) {
+	o = o.withDefaults()
+	pr := pairing.ByName(o.Preset)
+	ds, err := workload.Generate(workload.Config{Kind: workload.FSQ, Blocks: o.Blocks, ObjectsPerBlock: o.ObjectsPerBlock, Seed: o.Seed})
+	if err != nil {
+		return nil, err
+	}
+	queries := ds.RandomQueries(o.Queries, workload.QueryConfig{Seed: o.Seed + 23, RangeDims: 1, Selectivity: 0.6, BoolSize: 3})
+	for i := range queries {
+		queries[i].StartBlock, queries[i].EndBlock = 0, o.Blocks-1
+	}
+	acc := newAccumulator(pr, ds, o, "acc2")
+	b := &core.Builder{Acc: acc, Mode: core.ModeBoth, SkipSize: o.SkipListSize, Width: ds.Width}
+	node := core.NewFullNode(0, b)
+	node.Proofs = proofs.New(acc, proofs.Options{Workers: 4, CacheSize: -1})
+	for i, blk := range ds.Blocks {
+		if _, err := node.MineBlock(blk, int64(i)); err != nil {
+			return nil, fmt.Errorf("bench: mining block %d: %w", i, err)
+		}
+	}
+	defer node.Close()
+
+	t := &Table{
+		Title: "Gateway: HTTP/JSON Front Door vs Raw Gob Service",
+		Note: fmt.Sprintf("%d blocks, %d objects/block, %d full-window queries x%d per tenant; proof cache off; "+
+			"overhead = added per-query latency of the HTTP path over the gob wire protocol (target <=10%%)",
+			o.Blocks, o.ObjectsPerBlock, o.Queries, gatewayRepeat),
+		Columns: []string{"Front end", "Tenants", "Rate(r/s)", "Sent", "OK", "429", "Queries/s", "Avg ms", "Overhead"},
+	}
+
+	// Baseline: the gob wire protocol, single client, sequential — the
+	// per-query latency the gateway must stay within 10% of.
+	gobQPS, gobAvg, sent, err := gobBaseline(node, queries)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{
+		"gob", "1", "unlimited", fmt.Sprint(sent), fmt.Sprint(sent), "0",
+		fmt.Sprintf("%.1f", gobQPS), fmt.Sprintf("%.2f", gobAvg*1000), "baseline",
+	})
+
+	// The HTTP sweep: tenant counts at unlimited rate, then a tight
+	// per-tenant bucket that demonstrates admission control shedding.
+	type cfg struct {
+		tenants int
+		rate    float64
+		burst   int
+	}
+	for _, c := range []cfg{{1, 0, 0}, {2, 0, 0}, {4, 0, 0}, {4, 0.5, 1}} {
+		row, err := httpRow(node, queries, c.tenants, c.rate, c.burst, gobAvg)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// gobBaseline runs the query set sequentially over the gob protocol.
+func gobBaseline(node *core.FullNode, queries []core.Query) (qps, avgSec float64, sent int, err error) {
+	srv := service.NewServer(node, service.ServerConfig{})
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer srv.Close()
+	cli, err := service.Dial(addr, service.ClientConfig{})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer cli.Close()
+
+	// One warmup query keeps connection setup out of the measurement.
+	if _, err := cli.Query(context.Background(), queries[0], false); err != nil {
+		return 0, 0, 0, fmt.Errorf("bench: gob warmup query: %w", err)
+	}
+	t0 := time.Now()
+	for r := 0; r < gatewayRepeat; r++ {
+		for _, q := range queries {
+			if _, err := cli.Query(context.Background(), q, false); err != nil {
+				return 0, 0, 0, fmt.Errorf("bench: gob query: %w", err)
+			}
+			sent++
+		}
+	}
+	el := time.Since(t0).Seconds()
+	return float64(sent) / el, el / float64(sent), sent, nil
+}
+
+// httpRow runs the query set from `tenants` concurrent API-key clients
+// against a fresh gateway and reports one table row.
+func httpRow(node *core.FullNode, queries []core.Query, tenants int, rate float64, burst int, gobAvg float64) ([]string, error) {
+	var provisioned []gateway.Tenant
+	for i := 0; i < tenants; i++ {
+		provisioned = append(provisioned, gateway.Tenant{
+			Name: fmt.Sprintf("t%d", i), Key: fmt.Sprintf("k%d", i), Rate: rate, Burst: burst,
+		})
+	}
+	// Rate 0 means "adopt the default", which is unlimited here.
+	gw, err := gateway.New(node, gateway.Config{Tenants: provisioned})
+	if err != nil {
+		return nil, err
+	}
+	addr, err := gw.Serve("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer gw.Close()
+	url := "http://" + addr + "/v1/query"
+
+	type body struct {
+		StartBlock int        `json:"startBlock"`
+		EndBlock   int        `json:"endBlock"`
+		Keywords   [][]string `json:"keywords,omitempty"`
+		Range      *struct {
+			Lo []int64 `json:"lo"`
+			Hi []int64 `json:"hi"`
+		} `json:"range,omitempty"`
+	}
+	bodies := make([][]byte, len(queries))
+	for i, q := range queries {
+		bd := body{StartBlock: q.StartBlock, EndBlock: q.EndBlock}
+		for _, clause := range q.Bool {
+			// Clause elements are namespaced; the JSON surface takes raw
+			// keywords and namespaces them server-side.
+			var raw []string
+			for _, el := range clause {
+				if kw, ok := core.RawKeyword(el); ok {
+					raw = append(raw, kw)
+				}
+			}
+			if len(raw) > 0 {
+				bd.Keywords = append(bd.Keywords, raw)
+			}
+		}
+		if q.Range != nil {
+			bd.Range = &struct {
+				Lo []int64 `json:"lo"`
+				Hi []int64 `json:"hi"`
+			}{Lo: q.Range.Lo, Hi: q.Range.Hi}
+		}
+		if bodies[i], err = json.Marshal(bd); err != nil {
+			return nil, err
+		}
+	}
+
+	// Warmup mirrors the gob baseline.
+	if code, err := postQuery(url, "k0", bodies[0]); err != nil || code != http.StatusOK {
+		return nil, fmt.Errorf("bench: gateway warmup query: code %d, err %v", code, err)
+	}
+
+	var ok64, limited64, other64 atomic.Int64
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < tenants; w++ {
+		key := fmt.Sprintf("k%d", w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < gatewayRepeat; r++ {
+				for _, bd := range bodies {
+					code, err := postQuery(url, key, bd)
+					switch {
+					case err == nil && code == http.StatusOK:
+						ok64.Add(1)
+					case err == nil && code == http.StatusTooManyRequests:
+						limited64.Add(1)
+					default:
+						other64.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	el := time.Since(t0).Seconds()
+
+	if other64.Load() > 0 {
+		return nil, fmt.Errorf("bench: gateway row (tenants=%d rate=%g): %d unexpected responses", tenants, rate, other64.Load())
+	}
+	sent := tenants * gatewayRepeat * len(queries)
+	ok, limited := ok64.Load(), limited64.Load()
+	avg := el / float64(ok+limited)
+	rateLabel := "unlimited"
+	if rate > 0 {
+		rateLabel = fmt.Sprintf("%g", rate)
+	}
+	overhead := "-"
+	if tenants == 1 && rate == 0 {
+		// Single sequential client: apples-to-apples with the gob row.
+		overhead = fmt.Sprintf("%+.1f%%", (avg/gobAvg-1)*100)
+	}
+	return []string{
+		"http", fmt.Sprint(tenants), rateLabel, fmt.Sprint(sent),
+		fmt.Sprint(ok), fmt.Sprint(limited),
+		fmt.Sprintf("%.1f", float64(ok)/el), fmt.Sprintf("%.2f", avg*1000), overhead,
+	}, nil
+}
+
+// postQuery fires one JSON query and reports the status code (the
+// body is drained and discarded; the bench measures the SP, not JSON
+// decoding on the client).
+func postQuery(url, key string, body []byte) (int, error) {
+	req, err := http.NewRequest("POST", url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("X-API-Key", key)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var sink bytes.Buffer
+	sink.ReadFrom(resp.Body)
+	return resp.StatusCode, nil
+}

@@ -28,6 +28,16 @@ const keywordPrefix = "w:"
 // KeywordElement maps a raw keyword to its namespaced element.
 func KeywordElement(kw string) string { return keywordPrefix + kw }
 
+// RawKeyword inverts KeywordElement: it strips the namespace from a
+// keyword element, reporting ok=false for non-keyword elements
+// (numeric range prefixes). External surfaces that re-encode a query
+// — the HTTP gateway's JSON body, benchmarks replaying generated
+// queries over the wire — use it to avoid double-namespacing.
+func RawKeyword(el string) (string, bool) {
+	kw, ok := strings.CutPrefix(el, keywordPrefix)
+	return kw, ok
+}
+
 // numericElement renders a binary prefix of a dimension as an element.
 // The prefix length is implicit in the string length, so "n0:10" (the
 // prefix 10*) and "n0:100" (the exact value 100) are distinct elements.

@@ -1,0 +1,377 @@
+package gateway
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is a dependency-free subset of the Prometheus client
+// model: counters, labeled counter families, latency histograms, and
+// scrape-time gauge callbacks, rendered in the text exposition format
+// (version 0.0.4) that any Prometheus-compatible scraper ingests. The
+// repo deliberately carries no third-party modules, and the gateway
+// needs only this much: monotone counters with bounded label sets,
+// cumulative histogram buckets, and deterministic output (samples are
+// sorted so tests and diffs are stable).
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// CounterVec is a family of counters keyed by label values. Label
+// cardinality is the caller's responsibility: the gateway only feeds
+// it fixed label sets (tenant names from configuration, endpoint
+// names, HTTP codes), never attacker-chosen strings.
+type CounterVec struct {
+	labels []string
+
+	mu sync.Mutex
+	m  map[string]*Counter
+}
+
+// With returns the counter for the given label values, creating it on
+// first use. The number of values must match the family's label names.
+func (v *CounterVec) With(values ...string) *Counter {
+	key := labelKey(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c := v.m[key]
+	if c == nil {
+		c = &Counter{}
+		v.m[key] = c
+	}
+	return c
+}
+
+// Total sums every child counter.
+func (v *CounterVec) Total() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var t int64
+	for _, c := range v.m {
+		t += c.Value()
+	}
+	return t
+}
+
+// DefaultLatencyBuckets are the histogram upper bounds (seconds) used
+// for request latency: 1ms to 10s, roughly logarithmic.
+var DefaultLatencyBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Histogram is a cumulative-bucket latency histogram.
+type Histogram struct {
+	bounds []float64
+
+	mu     sync.Mutex
+	counts []int64 // per-bound; the +Inf bucket is the total count
+	sum    float64
+	n      int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			break
+		}
+	}
+	h.sum += v
+	h.n++
+}
+
+// snapshot returns cumulative bucket counts, sum, and total count.
+func (h *Histogram) snapshot() ([]int64, float64, int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := make([]int64, len(h.counts))
+	var run int64
+	for i, c := range h.counts {
+		run += c
+		cum[i] = run
+	}
+	return cum, h.sum, h.n
+}
+
+// HistogramVec is a family of histograms keyed by label values.
+type HistogramVec struct {
+	labels []string
+	bounds []float64
+
+	mu sync.Mutex
+	m  map[string]*Histogram
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	key := labelKey(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h := v.m[key]
+	if h == nil {
+		h = &Histogram{bounds: v.bounds, counts: make([]int64, len(v.bounds))}
+		v.m[key] = h
+	}
+	return h
+}
+
+// familyKind is the TYPE line of a family.
+type familyKind string
+
+const (
+	kindCounter   familyKind = "counter"
+	kindGauge     familyKind = "gauge"
+	kindHistogram familyKind = "histogram"
+)
+
+// family is one registered metric family and its sample source.
+type family struct {
+	name string
+	help string
+	kind familyKind
+
+	counter *Counter
+	cvec    *CounterVec
+	hvec    *HistogramVec
+	gauge   func() float64
+	// collect emits free-form samples under this family (used for
+	// scrape-time sources like proof-engine and shard snapshots).
+	collect func(e *Expo)
+}
+
+// Registry holds the gateway's metric families in registration order.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	names    map[string]bool
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: map[string]bool{}}
+}
+
+func (r *Registry) add(f *family) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[f.name] {
+		panic(fmt.Sprintf("gateway: metric %q registered twice", f.name))
+	}
+	r.names[f.name] = true
+	r.families = append(r.families, f)
+}
+
+// Counter registers and returns a plain counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.add(&family{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// CounterVec registers and returns a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	v := &CounterVec{labels: labels, m: map[string]*Counter{}}
+	r.add(&family{name: name, help: help, kind: kindCounter, cvec: v})
+	return v
+}
+
+// HistogramVec registers and returns a labeled histogram family. Nil
+// bounds take DefaultLatencyBuckets.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	v := &HistogramVec{labels: labels, bounds: bounds, m: map[string]*Histogram{}}
+	r.add(&family{name: name, help: help, kind: kindHistogram, hvec: v})
+	return v
+}
+
+// GaugeFunc registers a gauge collected at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.add(&family{name: name, help: help, kind: kindGauge, gauge: fn})
+}
+
+// CollectFunc registers a free-form sample source under one family
+// header: the callback runs at scrape time and emits samples via the
+// Expo (scrape-time snapshots of external state: proof engines, shard
+// health).
+func (r *Registry) CollectFunc(name, help string, kind familyKind, fn func(e *Expo)) {
+	r.add(&family{name: name, help: help, kind: kind, collect: fn})
+}
+
+// CollectCounter registers a scrape-time counter source.
+func (r *Registry) CollectCounter(name, help string, fn func() float64) {
+	r.CollectFunc(name, help, kindCounter, func(e *Expo) { e.Sample(name, nil, fn()) })
+}
+
+// Expo writes exposition-format lines.
+type Expo struct {
+	w    io.Writer
+	name string // current family, for Sample suffix validation only
+}
+
+// Sample writes one sample line. Labels are (name, value) pairs; NaN
+// and infinite values are written as 0 so a degenerate source can
+// never poison the scrape (Prometheus would ingest NaN and break rate
+// queries silently).
+func (e *Expo) Sample(name string, labels [][2]string, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		v = 0
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	if len(labels) > 0 {
+		sb.WriteByte('{')
+		for i, lv := range labels {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(lv[0])
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabel(lv[1]))
+			sb.WriteByte('"')
+		}
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(formatValue(v))
+	sb.WriteByte('\n')
+	io.WriteString(e.w, sb.String())
+}
+
+// WritePrometheus renders every family in the text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+
+	e := &Expo{w: w}
+	for _, f := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		e.name = f.name
+		switch {
+		case f.counter != nil:
+			e.Sample(f.name, nil, float64(f.counter.Value()))
+		case f.cvec != nil:
+			for _, kv := range sortedKeys(f.cvec) {
+				e.Sample(f.name, zipLabels(f.cvec.labels, kv.values), float64(kv.c.Value()))
+			}
+		case f.hvec != nil:
+			writeHistogramVec(e, f.name, f.hvec)
+		case f.gauge != nil:
+			e.Sample(f.name, nil, f.gauge())
+		case f.collect != nil:
+			f.collect(e)
+		}
+	}
+}
+
+// writeHistogramVec renders one histogram family: cumulative
+// *_bucket{le=...} samples plus *_sum and *_count per label set.
+func writeHistogramVec(e *Expo, name string, v *HistogramVec) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.m))
+	for k := range v.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	hs := make([]*Histogram, len(keys))
+	for i, k := range keys {
+		hs[i] = v.m[k]
+	}
+	v.mu.Unlock()
+
+	for i, k := range keys {
+		base := zipLabels(v.labels, splitLabelKey(k, len(v.labels)))
+		cum, sum, n := hs[i].snapshot()
+		for bi, b := range v.bounds {
+			le := append(append([][2]string{}, base...), [2]string{"le", formatValue(b)})
+			e.Sample(name+"_bucket", le, float64(cum[bi]))
+		}
+		inf := append(append([][2]string{}, base...), [2]string{"le", "+Inf"})
+		e.Sample(name+"_bucket", inf, float64(n))
+		e.Sample(name+"_sum", base, sum)
+		e.Sample(name+"_count", base, float64(n))
+	}
+}
+
+// labelKey joins label values with an unprintable separator so a value
+// containing a comma cannot collide with another tuple.
+func labelKey(values []string) string { return strings.Join(values, "\x1f") }
+
+func splitLabelKey(key string, n int) []string {
+	if n == 0 {
+		return nil
+	}
+	return strings.SplitN(key, "\x1f", n)
+}
+
+type keyedCounter struct {
+	values []string
+	c      *Counter
+}
+
+func sortedKeys(v *CounterVec) []keyedCounter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	keys := make([]string, 0, len(v.m))
+	for k := range v.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]keyedCounter, len(keys))
+	for i, k := range keys {
+		out[i] = keyedCounter{values: splitLabelKey(k, len(v.labels)), c: v.m[k]}
+	}
+	return out
+}
+
+func zipLabels(names, values []string) [][2]string {
+	out := make([][2]string, 0, len(names))
+	for i, n := range names {
+		val := ""
+		if i < len(values) {
+			val = values[i]
+		}
+		out = append(out, [2]string{n, val})
+	}
+	return out
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

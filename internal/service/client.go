@@ -384,7 +384,15 @@ func (c *Client) roundTrip(ctx context.Context, req *Request) (*Response, *genSt
 		}
 		return nil, gen, context.DeadlineExceeded
 	}
-	req.DeadlineMs = timeout.Milliseconds()
+	// Clamp the serialized budget to a millisecond: a positive
+	// sub-millisecond remainder truncates to 0, which the wire format
+	// would otherwise deliver as a degenerate "no deadline" — the exact
+	// opposite of a nearly expired context's intent.
+	ms := timeout.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	req.DeadlineMs = ms
 
 	if err := gen.fc.writeFrame(req); err != nil {
 		abort()

@@ -34,10 +34,35 @@ type ServerConfig struct {
 	Subscriptions subscribe.Options
 }
 
-// maxHeaderBatch bounds one headers response (~150 gob bytes per
-// header keeps the frame well under DefaultMaxFrame). A variable so
-// tests can exercise the pagination loop on short chains.
+// maxHeaderBatch is the ceiling on one headers response regardless of
+// the frame cap. A variable so tests can exercise the pagination loop
+// on short chains.
 var maxHeaderBatch = 2048
+
+// headerWireBytes is a conservative per-header wire-cost estimate (a
+// gob Header is ~150 bytes; the margin absorbs the per-frame gob type
+// descriptors). The header batch size is derived from the configured
+// frame cap with it, so a server run with a small MaxFrame shrinks its
+// batches instead of building a reply the writer must degrade to an
+// error — which would wedge SyncHeaders forever.
+const headerWireBytes = 256
+
+// headerBatch returns how many headers fit one response frame under
+// this configuration's cap.
+func (c ServerConfig) headerBatch() int {
+	frameCap := c.MaxFrame
+	if frameCap <= 0 {
+		frameCap = DefaultMaxFrame
+	}
+	n := frameCap / headerWireBytes
+	if n < 1 {
+		n = 1
+	}
+	if n > maxHeaderBatch {
+		n = maxHeaderBatch
+	}
+	return n
+}
 
 func (c ServerConfig) withDefaults() ServerConfig {
 	if c.SendQueue <= 0 {
@@ -296,24 +321,29 @@ func (sc *serverConn) process(req *Request) *Response {
 		if req.FromHeight < 0 || req.FromHeight > len(all) {
 			return &Response{Err: fmt.Sprintf("bad FromHeight %d", req.FromHeight)}
 		}
-		// Bounded batches keep every response frame far below the
-		// frame cap no matter how long the chain grows; the client's
-		// SyncHeaders loops until it is caught up.
+		// Bounded batches keep every response frame below the frame
+		// cap no matter how long the chain grows; the client's
+		// SyncHeaders loops until it is caught up. The bound is derived
+		// from the configured cap: a hard-coded batch would overflow a
+		// small-MaxFrame server's writer, degrade to an error response,
+		// and wedge header sync.
 		batch := all[req.FromHeight:]
-		if len(batch) > maxHeaderBatch {
-			batch = batch[:maxHeaderBatch]
+		if limit := s.cfg.headerBatch(); len(batch) > limit {
+			batch = batch[:limit]
 		}
 		return &Response{Headers: batch}
 	case "query":
 		// The client's remaining call budget rides the request; deriving
 		// a context from it means a query whose caller has already given
-		// up stops consuming proof workers mid-walk.
-		ctx := context.Background()
-		if req.DeadlineMs > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMs)*time.Millisecond)
-			defer cancel()
+		// up stops consuming proof workers mid-walk. A non-positive
+		// budget is rejected rather than read as "no deadline": a client
+		// whose context is already (or nearly) expired must not buy an
+		// unbounded proof walk by underflowing the field.
+		if req.DeadlineMs <= 0 {
+			return &Response{Err: fmt.Sprintf("invalid DeadlineMs %d: queries must carry a positive deadline budget", req.DeadlineMs)}
 		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(req.DeadlineMs)*time.Millisecond)
+		defer cancel()
 		if req.AllowDegraded {
 			parts, gaps, err := s.node.TimeWindowDegraded(ctx, req.Query, req.Batched)
 			if err != nil {

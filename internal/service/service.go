@@ -81,8 +81,11 @@ type Request struct {
 	// instead of failing outright when a shard is down.
 	AllowDegraded bool
 	// DeadlineMs propagates the client's remaining call budget in
-	// milliseconds; 0 means no deadline. The server derives a context
-	// from it so an abandoned query stops consuming proof workers.
+	// milliseconds. The server derives a context from it so an
+	// abandoned query stops consuming proof workers. Queries must carry
+	// a positive value (the client clamps a sub-millisecond remainder
+	// up to 1); the server rejects non-positive budgets instead of
+	// reading them as "no deadline".
 	DeadlineMs int64
 	// SubID names the subscription to drop (Kind == "unsubscribe").
 	SubID int
