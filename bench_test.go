@@ -241,7 +241,11 @@ func BenchmarkSubscriptionIPTree(b *testing.B) {
 					}
 				}
 				for h := 0; h < 4; h++ {
-					if _, err := eng.ProcessBlock(f.node.ADSAt(h), f.node); err != nil {
+					ads, err := f.node.ADSAt(h)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := eng.ProcessBlock(ads, f.node); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -279,7 +283,11 @@ func BenchmarkSubscriptionPeriod(b *testing.B) {
 					ids[j] = id
 				}
 				for h := 0; h < 8; h++ {
-					if _, err := eng.ProcessBlock(f.node.ADSAt(h), f.node); err != nil {
+					ads, err := f.node.ADSAt(h)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := eng.ProcessBlock(ads, f.node); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -87,6 +87,7 @@ func main() {
 		subLT    = flag.Int("lazy-threshold", 0, "blocks a lazy span may stay pending (0 = engine default)")
 		maxFrame = flag.Int("max-frame", 0, "wire frame size cap in bytes (0 = default)")
 		store    = flag.String("store", "", "block store directory: blocks and ADSs persist there and are recovered on restart (empty = in-memory)")
+	adsCache = flag.Int("ads-cache", 0, "decoded-ADS cache budget in blocks for durable stores, split across shards: older ADSs stay on disk and page in on demand (0 = unbounded)")
 		shards   = flag.Int("shards", 1, "shard the SP by height range across this many workers (queries scatter-gather, VOs merge into one pairing batch)")
 		band     = flag.Int("band", 0, "consecutive heights per shard band (0 = default)")
 
@@ -124,6 +125,7 @@ func main() {
 	if *shards > 1 {
 		opts := shard.Options{
 			Shards: *shards, Band: *band, Workers: *workers, CacheSize: *cache,
+			ADSCacheBlocks:   *adsCache,
 			FailureThreshold: *breakerN, BreakerCooldown: *breakerCD,
 		}
 		if *store != "" {
@@ -156,7 +158,7 @@ func main() {
 		// Durable SP: reopen the segmented-log block store, recovering
 		// any crash-torn tail, and continue the chain from where the
 		// previous process stopped.
-		fn, err := core.OpenFullNode(0, builder, *store, storage.Options{})
+		fn, err := core.OpenFullNode(0, builder, *store, storage.Options{}, core.WithADSCache(*adsCache))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vchain-sp:", err)
 			os.Exit(1)

@@ -53,12 +53,13 @@ type vChainContract struct {
 }
 
 // ADSAt / HeaderAt implement core.ChainView over the logical chain so
-// the builder can aggregate skip entries.
-func (c *vChainContract) ADSAt(height int) *core.BlockADS {
+// the builder can aggregate skip entries. The contract keeps every ADS
+// in its storage map, so lookups can never fail.
+func (c *vChainContract) ADSAt(height int) (*core.BlockADS, error) {
 	if height < 0 || height >= len(c.byHeight) {
-		return nil
+		return nil, nil
 	}
-	return c.byHeight[height].ads
+	return c.byHeight[height].ads, nil
 }
 
 func (c *vChainContract) HeaderAt(height int) (chain.Header, error) {
@@ -127,7 +128,8 @@ func main() {
 	cnf := core.CNF{core.KeywordClause("blockchain"), core.KeywordClause("query", "search")}
 	matches := 0
 	for i := range contract.byHeight {
-		tree, err := sp.BlockTreeVO(contract.ADSAt(i), cnf)
+		ads, _ := contract.ADSAt(i)
+		tree, err := sp.BlockTreeVO(ads, cnf)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -319,6 +319,7 @@ var Experiments = map[string]func(Options) (*Table, error){
 	"fig22":   func(o Options) (*Table, error) { return SkipListFig(workload.ETH, "Fig. 22", o) },
 	"fault":   FaultFig,
 	"gateway": GatewayFig,
+	"memory":  MemoryFig,
 	"restart": RestartFig,
 	"shard":   ShardFig,
 	"verify":  func(o Options) (*Table, error) { return VerifyBatchFig(workload.FSQ, o) },

@@ -52,7 +52,7 @@ func TestExperimentNamesComplete(t *testing.T) {
 	names := ExperimentNames()
 	want := []string{"fault", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22",
-		"fig9", "gateway", "restart", "shard", "subscribe", "table1", "verify"}
+		"fig9", "gateway", "memory", "restart", "shard", "subscribe", "table1", "verify"}
 	if len(names) != len(want) {
 		t.Fatalf("got %v", names)
 	}

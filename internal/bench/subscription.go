@@ -44,8 +44,12 @@ func runSubscription(s *setup, queries []core.Query, opts subscribe.Options, per
 	ver := &core.Verifier{Acc: s.acc, Light: s.light}
 	var pubs []subscribe.Publication
 	for h := 0; h < period && h < s.node.Height(); h++ {
+		ads, err := s.node.ADSAt(h)
+		if err != nil {
+			return nil, err
+		}
 		t0 := time.Now()
-		p, err := eng.ProcessBlock(s.node.ADSAt(h), s.node)
+		p, err := eng.ProcessBlock(ads, s.node)
 		out.spTime += time.Since(t0)
 		if err != nil {
 			return nil, err

@@ -222,8 +222,13 @@ type Builder struct {
 // ChainView gives the builder read access to previously built blocks,
 // which the skip list aggregates over.
 type ChainView interface {
-	// ADSAt returns the ADS of the block at the height, or nil.
-	ADSAt(height int) *BlockADS
+	// ADSAt returns the ADS of the block at the height, paging it in
+	// from storage if the view is backed by a bounded cache. A height
+	// with no block returns (nil, nil); a non-nil error is a page-in
+	// failure (IO, corruption, failed commitment re-verification) that
+	// callers must propagate — on a sharded node it feeds the shard's
+	// circuit breaker like any other storage fault.
+	ADSAt(height int) (*BlockADS, error)
 	// HeaderAt returns the header at the height.
 	HeaderAt(height int) (chain.Header, error)
 }
@@ -376,7 +381,10 @@ func (b *Builder) buildSkips(ads *BlockADS, view ChainView) error {
 		accs := []accumulator.Acc{ads.BlockDigest}
 		ok := true
 		for j := h - d + 1; j < h; j++ {
-			prev := view.ADSAt(j)
+			prev, err := view.ADSAt(j)
+			if err != nil {
+				return fmt.Errorf("core: skip aggregation at height %d: %w", j, err)
+			}
 			if prev == nil {
 				ok = false
 				break

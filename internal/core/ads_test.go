@@ -146,7 +146,7 @@ func TestSkipEntriesAggregateCorrectly(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	ads := node.ADSAt(8)
+	ads := mustADS(t, node, 8)
 	if len(ads.Skips) != 2 { // distances 4 and 8
 		t.Fatalf("skips %d, want 2", len(ads.Skips))
 	}
@@ -154,7 +154,7 @@ func TestSkipEntriesAggregateCorrectly(t *testing.T) {
 		// W must be the multiset sum over the covered blocks.
 		want := multiset.Multiset{}
 		for j := 8 - s.Distance + 1; j <= 8; j++ {
-			want = multiset.Sum(want, node.ADSAt(j).BlockW)
+			want = multiset.Sum(want, mustADS(t, node, j).BlockW)
 		}
 		if !multiset.Equal(s.W, want) {
 			t.Fatalf("skip %d W mismatch", s.Distance)
@@ -177,13 +177,27 @@ func TestSkipEntriesAggregateCorrectly(t *testing.T) {
 		}
 	}
 	// Early blocks have no skips (not enough history).
-	if len(node.ADSAt(2).Skips) != 0 {
+	if len(mustADS(t, node, 2).Skips) != 0 {
 		t.Error("block 2 should have no skips")
 	}
 	// Block 4 has exactly the distance-4 skip.
-	if got := node.ADSAt(4).Skips; len(got) != 1 || got[0].Distance != 4 {
+	if got := mustADS(t, node, 4).Skips; len(got) != 1 || got[0].Distance != 4 {
 		t.Errorf("block 4 skips: %+v", got)
 	}
+}
+
+// mustADS fetches a committed height's ADS through the view, failing
+// the test on a page-in error or absence.
+func mustADS(t *testing.T, view ChainView, h int) *BlockADS {
+	t.Helper()
+	ads, err := view.ADSAt(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ads == nil {
+		t.Fatalf("no ADS at height %d", h)
+	}
+	return ads
 }
 
 func TestBlockADSSizePositiveAndGrowsWithMode(t *testing.T) {

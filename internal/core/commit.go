@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 
@@ -9,36 +10,119 @@ import (
 	"github.com/vchain-go/vchain/internal/storage"
 )
 
-// chainRecord is the unit the block store persists: one block together
-// with its ADS body. The ADS is the expensive part — a Table 1
-// construction cost per block — so committing it alongside the block
-// lets a restarted node serve queries without rebuilding anything.
+// chainRecord is the legacy (v1) record unit: one gob stream holding
+// block and ADS together. It survives only as the decode fallback for
+// stores written before the framed v2 format below.
 type chainRecord struct {
 	Block *chain.Block
 	ADS   *BlockADS
 }
 
-// encodeRecord renders a (block, ADS) pair as one self-contained gob
-// stream, decodable in isolation (records are random-access in the
-// backend).
+// recMagicV2 prefixes a framed v2 record. The first byte is 0x00,
+// which no gob stream starts with (gob frames open with a non-zero
+// length), so v1 and v2 records coexist in one store unambiguously.
+var recMagicV2 = []byte{0x00, 'V', 'C', 'R', '2'}
+
+// encodeRecord renders a (block, ADS) pair as one self-contained v2
+// record: magic, a length-prefixed block gob, then the ADS gob. The
+// two halves are independently decodable, which is what makes reopen
+// lazy — an index-only open decodes just the block sections, and the
+// paged ADS source decodes just the ADS section on a cache miss.
 func encodeRecord(blk *chain.Block, ads *BlockADS) ([]byte, error) {
+	var blkBuf bytes.Buffer
+	if err := gob.NewEncoder(&blkBuf).Encode(blk); err != nil {
+		return nil, fmt.Errorf("core: encoding chain record block: %w", err)
+	}
 	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&chainRecord{Block: blk, ADS: ads}); err != nil {
-		return nil, fmt.Errorf("core: encoding chain record: %w", err)
+	buf.Write(recMagicV2)
+	var lenb [4]byte
+	binary.BigEndian.PutUint32(lenb[:], uint32(blkBuf.Len()))
+	buf.Write(lenb[:])
+	buf.Write(blkBuf.Bytes())
+	if err := gob.NewEncoder(&buf).Encode(ads); err != nil {
+		return nil, fmt.Errorf("core: encoding chain record ADS: %w", err)
 	}
 	return buf.Bytes(), nil
 }
 
-// decodeRecord is the inverse of encodeRecord.
+// splitRecordV2 returns the block and ADS sections of a v2 record, or
+// (nil, nil, false) for a v1 record.
+func splitRecordV2(data []byte) (blkGob, adsGob []byte, v2 bool, err error) {
+	if len(data) == 0 || data[0] != 0x00 {
+		return nil, nil, false, nil
+	}
+	if len(data) < len(recMagicV2)+4 || !bytes.Equal(data[:len(recMagicV2)], recMagicV2) {
+		return nil, nil, false, fmt.Errorf("core: malformed v2 chain record")
+	}
+	n := int(binary.BigEndian.Uint32(data[len(recMagicV2):]))
+	body := data[len(recMagicV2)+4:]
+	if n <= 0 || n >= len(body) {
+		return nil, nil, false, fmt.Errorf("core: malformed v2 chain record")
+	}
+	return body[:n], body[n:], true, nil
+}
+
+// decodeRecord is the inverse of encodeRecord, reading v1 records too.
 func decodeRecord(data []byte) (*chain.Block, *BlockADS, error) {
-	var rec chainRecord
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rec); err != nil {
-		return nil, nil, fmt.Errorf("core: decoding chain record: %w", err)
+	blkGob, adsGob, v2, err := splitRecordV2(data)
+	if err != nil {
+		return nil, nil, err
 	}
-	if rec.Block == nil || rec.ADS == nil {
-		return nil, nil, fmt.Errorf("core: chain record missing block or ADS")
+	if !v2 {
+		var rec chainRecord
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rec); err != nil {
+			return nil, nil, fmt.Errorf("core: decoding chain record: %w", err)
+		}
+		if rec.Block == nil || rec.ADS == nil {
+			return nil, nil, fmt.Errorf("core: chain record missing block or ADS")
+		}
+		return rec.Block, rec.ADS, nil
 	}
-	return rec.Block, rec.ADS, nil
+	var blk chain.Block
+	if err := gob.NewDecoder(bytes.NewReader(blkGob)).Decode(&blk); err != nil {
+		return nil, nil, fmt.Errorf("core: decoding chain record block: %w", err)
+	}
+	var ads BlockADS
+	if err := gob.NewDecoder(bytes.NewReader(adsGob)).Decode(&ads); err != nil {
+		return nil, nil, fmt.Errorf("core: decoding chain record ADS: %w", err)
+	}
+	return &blk, &ads, nil
+}
+
+// decodeRecordBlock decodes only the block half of a record: the
+// index-only reopen path, which skips the (much larger) ADS body.
+func decodeRecordBlock(data []byte) (*chain.Block, error) {
+	blkGob, _, v2, err := splitRecordV2(data)
+	if err != nil {
+		return nil, err
+	}
+	if !v2 {
+		blk, _, err := decodeRecord(data)
+		return blk, err
+	}
+	var blk chain.Block
+	if err := gob.NewDecoder(bytes.NewReader(blkGob)).Decode(&blk); err != nil {
+		return nil, fmt.Errorf("core: decoding chain record block: %w", err)
+	}
+	return &blk, nil
+}
+
+// decodeRecordADS decodes only the ADS half of a record: the page-in
+// path, which already has the block in the chain store.
+func decodeRecordADS(data []byte) (*BlockADS, error) {
+	_, adsGob, v2, err := splitRecordV2(data)
+	if err != nil {
+		return nil, err
+	}
+	if !v2 {
+		_, ads, err := decodeRecord(data)
+		return ads, err
+	}
+	var ads BlockADS
+	if err := gob.NewDecoder(bytes.NewReader(adsGob)).Decode(&ads); err != nil {
+		return nil, fmt.Errorf("core: decoding chain record ADS: %w", err)
+	}
+	return &ads, nil
 }
 
 // EncodeChainRecord renders a (block, ADS) pair in the canonical commit
@@ -54,6 +138,40 @@ func DecodeChainRecord(data []byte) (*chain.Block, *BlockADS, error) {
 	return decodeRecord(data)
 }
 
+// DecodeChainRecordBlock decodes only the block half of a record (see
+// decodeRecordBlock); shard reopen uses it to index without paying for
+// ADS decodes.
+func DecodeChainRecordBlock(data []byte) (*chain.Block, error) {
+	return decodeRecordBlock(data)
+}
+
+// DecodeChainRecordADS decodes only the ADS half of a record (see
+// decodeRecordADS); paged shard workers use it at page-in.
+func DecodeChainRecordADS(data []byte) (*BlockADS, error) {
+	return decodeRecordADS(data)
+}
+
+// VerifyADSCommitments checks a decoded ADS against an
+// already-validated header: presence, height alignment, and the two
+// root commitments. It is the half of commit validation a lazy reopen
+// defers — the paged sources run it at page-in, so a tampered stored
+// ADS surfaces exactly as it would have at an eager open.
+func VerifyADSCommitments(b *Builder, hdr chain.Header, height int, ads *BlockADS) error {
+	if ads == nil || ads.Root == nil {
+		return fmt.Errorf("core: block %d missing ADS", height)
+	}
+	if ads.Height != height {
+		return fmt.Errorf("core: ADS height %d does not match block %d", ads.Height, height)
+	}
+	if ads.MerkleRoot() != hdr.MerkleRoot {
+		return fmt.Errorf("core: block %d ADS root does not match header", height)
+	}
+	if got := ads.SkipListRoot(b.Acc); got != hdr.SkipListRoot {
+		return fmt.Errorf("core: block %d skip root does not match header", height)
+	}
+	return nil
+}
+
 // ValidateCommit checks that (blk, ads) is a valid chain entry at the
 // given height of the store: height alignment, ADS/header commitment
 // match, and every chain-level rule (linkage, timestamps,
@@ -64,20 +182,11 @@ func ValidateCommit(b *Builder, against *chain.Store, height int, blk *chain.Blo
 	if blk == nil {
 		return fmt.Errorf("core: commit of a nil block")
 	}
-	if ads == nil || ads.Root == nil {
-		return fmt.Errorf("core: block %d missing ADS", blk.Header.Height)
-	}
 	if int(blk.Header.Height) != height {
 		return fmt.Errorf("core: commit height %d, want %d", blk.Header.Height, height)
 	}
-	if ads.Height != height {
-		return fmt.Errorf("core: ADS height %d does not match block %d", ads.Height, height)
-	}
-	if ads.MerkleRoot() != blk.Header.MerkleRoot {
-		return fmt.Errorf("core: block %d ADS root does not match header", height)
-	}
-	if got := ads.SkipListRoot(b.Acc); got != blk.Header.SkipListRoot {
-		return fmt.Errorf("core: block %d skip root does not match header", height)
+	if err := VerifyADSCommitments(b, blk.Header, height, ads); err != nil {
+		return err
 	}
 	return against.Validate(blk)
 }
@@ -91,12 +200,15 @@ func (n *FullNode) validateCommit(blk *chain.Block, ads *BlockADS, against *chai
 // commitLocked is the single choke point through which every (block,
 // ADS) pair enters the node: MineBlock, Load, and backend replay all
 // route through it. It validates, persists to the backend (unless the
-// record is already durable, i.e. during replay), and only then
-// publishes both halves — under the one n.mu write lock, so no reader
-// can ever observe the chain height advanced without the matching ADS,
-// and two concurrent commits can never interleave their appends.
+// record is already durable, i.e. during replay), publishes the ADS to
+// the source, and only then appends the block — readers gate on the
+// store height, so no one can ever observe the chain advanced to h+1
+// without the ADS at h reachable (cached for a resident source,
+// durable and pageable for a paged one). The n.mu write lock
+// serializes writers; readers never take it.
 func (n *FullNode) commitLocked(blk *chain.Block, ads *BlockADS, persist bool) error {
-	if err := n.validateCommit(blk, ads, n.Store, len(n.adss)); err != nil {
+	height := n.Store.Height()
+	if err := n.validateCommit(blk, ads, n.Store, height); err != nil {
 		return err
 	}
 	if _, ephemeral := n.backend.(storage.Ephemeral); ephemeral {
@@ -113,18 +225,19 @@ func (n *FullNode) commitLocked(blk *chain.Block, ads *BlockADS, persist bool) e
 			return fmt.Errorf("core: persisting block %d: %w", blk.Header.Height, err)
 		}
 	}
+	n.ads.Add(height, ads)
 	if err := n.Store.Append(blk); err != nil {
 		// Unreachable after validateCommit (n.mu serializes all
-		// writers), but if it ever fires the durable record must not
-		// outlive the rejected in-RAM append.
+		// writers), but if it ever fires the durable record and the
+		// cached ADS must not outlive the rejected in-RAM append.
+		n.ads.InvalidateFrom(height)
 		if persist {
-			if terr := n.backend.Truncate(len(n.adss)); terr != nil {
+			if terr := n.backend.Truncate(height); terr != nil {
 				return fmt.Errorf("core: store/backend divergence at block %d: %v (rollback: %v)",
 					blk.Header.Height, err, terr)
 			}
 		}
 		return err
 	}
-	n.adss = append(n.adss, ads)
 	return nil
 }

@@ -354,7 +354,7 @@ func TestForeignClauseRejected(t *testing.T) {
 			foreign := KeywordClause("spaceship")
 			// All car multisets are disjoint from "spaceship", so a
 			// valid proof exists; simulate the SP computing it.
-			ads := node.ADSAt(0)
+			ads := mustADS(t, node, 0)
 			pf, err := acc.ProveDisjoint(ads.Root.W, foreign.Multiset())
 			if err != nil {
 				t.Fatal(err)

@@ -7,10 +7,17 @@ import (
 	"time"
 
 	"github.com/vchain-go/vchain/internal/accumulator"
+	"github.com/vchain-go/vchain/internal/adstore"
 	"github.com/vchain-go/vchain/internal/chain"
 	"github.com/vchain-go/vchain/internal/proofs"
 	"github.com/vchain-go/vchain/internal/storage"
 )
+
+// ADSSource is the node's decoded-ADS store: resident (every ADS in
+// RAM, the historical behavior) or paged (a bounded LRU over the
+// storage backend, so node footprint no longer grows with chain
+// length). See internal/adstore.
+type ADSSource = adstore.Source[*BlockADS]
 
 // FullNode is a miner/SP node: the chain store plus the per-block ADS
 // bodies (only the roots of which live in headers). It implements
@@ -29,9 +36,14 @@ type FullNode struct {
 	// Builder constructs the ADS for mined blocks.
 	Builder *Builder
 
-	// mu guards adss and serializes the commit pipeline.
-	mu   sync.RWMutex
-	adss []*BlockADS
+	// mu serializes the commit pipeline (and snapshot export). Readers
+	// never take it: ADSAt gates on the store height and reads the
+	// source, both internally synchronized, so a slow page-in never
+	// stalls mining and vice versa.
+	mu sync.RWMutex
+	// ads owns the decoded ADS bodies; commits publish into it and
+	// ADSAt reads through it.
+	ads ADSSource
 
 	// backend is the pluggable block store persisting committed
 	// records (the discarding storage.Null for plain in-memory nodes).
@@ -60,6 +72,28 @@ type SetupStats struct {
 	ADSBytes int
 }
 
+// NodeOption tunes a FullNode's ADS residency.
+type NodeOption func(*nodeConfig)
+
+type nodeConfig struct {
+	cacheBlocks int
+	cacheBytes  int64
+}
+
+// WithADSCache bounds the node's decoded-ADS cache to at most blocks
+// entries (<= 0 leaves the entry count unbounded). It only applies to
+// nodes over a durable backend — an ephemeral node's decoded set is
+// its only copy and stays fully resident.
+func WithADSCache(blocks int) NodeOption {
+	return func(c *nodeConfig) { c.cacheBlocks = blocks }
+}
+
+// WithADSCacheBytes bounds the node's decoded-ADS cache by estimated
+// footprint instead of (or in addition to) entry count.
+func WithADSCacheBytes(bytes int64) NodeOption {
+	return func(c *nodeConfig) { c.cacheBytes = bytes }
+}
+
 // NewFullNode creates an ephemeral node with the given proof-of-work
 // difficulty and ADS builder: nothing survives the process, and no
 // persistence cost is paid. Use NewFullNodeOn or OpenFullNode for
@@ -73,43 +107,80 @@ func NewFullNode(difficulty chain.Difficulty, b *Builder) *FullNode {
 	return n
 }
 
-// NewFullNodeOn creates a node over an existing storage backend and
-// replays every committed record into RAM: blocks re-validate against
-// the difficulty and linkage rules and each persisted ADS is checked
-// against its header commitments, but nothing is rebuilt — cold start
-// is a decode, not a re-mine. The node owns the backend from here on
-// (Close closes it); every block mined or imported later is persisted
-// to it at commit time.
-func NewFullNodeOn(difficulty chain.Difficulty, b *Builder, be storage.Backend) (*FullNode, error) {
+// NewFullNodeOn creates a node over an existing storage backend. The
+// reopen is index-only: each stored record's block half is decoded and
+// re-validated against the difficulty and linkage rules, but the ADS
+// bodies stay on the backend until a query pages them in — at which
+// point they are checked against their header commitments (a verified
+// fetch), so cold start costs one block decode per record, not a
+// re-mine and not even an ADS decode. Without a cache option the
+// paged set is unbounded (everything faulted in stays, matching the
+// old footprint once warm); WithADSCache/WithADSCacheBytes bound it.
+// The node owns the backend from here on (Close closes it); every
+// block mined or imported later is persisted to it at commit time.
+func NewFullNodeOn(difficulty chain.Difficulty, b *Builder, be storage.Backend, opts ...NodeOption) (*FullNode, error) {
+	var cfg nodeConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	n := &FullNode{Store: chain.NewStore(difficulty), Builder: b, backend: be}
+	if _, ephemeral := be.(storage.Ephemeral); ephemeral {
+		n.ads = adstore.NewResident[*BlockADS]()
+	} else {
+		n.ads = adstore.NewPaged(adstore.PagedConfig[*BlockADS]{
+			Read:       be.Read,
+			Decode:     n.decodePagedADS,
+			Size:       func(ads *BlockADS) int { return ads.SizeBytes(b.Acc) },
+			MaxEntries: cfg.cacheBlocks,
+			MaxBytes:   cfg.cacheBytes,
+		})
+	}
 	for i := 0; i < be.Len(); i++ {
 		data, err := be.Read(i)
 		if err != nil {
 			return nil, fmt.Errorf("core: reading stored block %d: %w", i, err)
 		}
-		blk, ads, err := decodeRecord(data)
+		blk, err := decodeRecordBlock(data)
 		if err != nil {
 			return nil, fmt.Errorf("core: stored block %d: %w", i, err)
 		}
-		// The records are already durable: replay publishes them
-		// without re-persisting.
-		if err := n.commitLocked(blk, ads, false); err != nil {
+		if err := n.Store.Append(blk); err != nil {
 			return nil, fmt.Errorf("core: stored block %d rejected: %w", i, err)
 		}
 	}
 	return n, nil
 }
 
+// decodePagedADS is the paged source's decode callback: it decodes the
+// ADS half of record height and re-verifies the commitments the lazy
+// reopen deferred — the rebuilt roots must match the validated header,
+// so a tampered record surfaces at page-in exactly as it would have at
+// an eager open.
+func (n *FullNode) decodePagedADS(height int, data []byte) (*BlockADS, error) {
+	ads, err := decodeRecordADS(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: stored block %d: %w", height, err)
+	}
+	blk, err := n.Store.BlockAt(height)
+	if err != nil {
+		return nil, fmt.Errorf("core: paging in ADS %d: %w", height, err)
+	}
+	if err := VerifyADSCommitments(n.Builder, blk.Header, height, ads); err != nil {
+		return nil, fmt.Errorf("core: paging in ADS %d: %w", height, err)
+	}
+	return ads, nil
+}
+
 // OpenFullNode opens (or creates) the segmented-log block store in dir
-// and replays it into a node: the durable counterpart of NewFullNode.
+// and indexes it into a node: the durable counterpart of NewFullNode.
 // A crash-torn log tail is truncated to the last valid record before
-// replay (see storage.Open).
-func OpenFullNode(difficulty chain.Difficulty, b *Builder, dir string, opts storage.Options) (*FullNode, error) {
+// replay (see storage.Open). The reopen is lazy — see NewFullNodeOn.
+func OpenFullNode(difficulty chain.Difficulty, b *Builder, dir string, opts storage.Options, nopts ...NodeOption) (*FullNode, error) {
 	log, err := storage.Open(dir, opts)
 	if err != nil {
 		return nil, err
 	}
-	n, err := NewFullNodeOn(difficulty, b, log)
+	n, err := NewFullNodeOn(difficulty, b, log, nopts...)
 	if err != nil {
 		log.Close()
 		return nil, err
@@ -129,15 +200,27 @@ func (n *FullNode) Close() error {
 	return n.backend.Close()
 }
 
-// ADSAt implements ChainView.
-func (n *FullNode) ADSAt(height int) *BlockADS {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	if height < 0 || height >= len(n.adss) {
-		return nil
+// ADSAt implements ChainView: (nil, nil) for a height with no block,
+// the ADS (paged in if necessary) for a committed height. A page-in
+// failure — IO error, corrupt record, failed commitment check — comes
+// back as the error; callers must surface it, not treat it as absence.
+func (n *FullNode) ADSAt(height int) (*BlockADS, error) {
+	if height < 0 || height >= n.Store.Height() {
+		return nil, nil
 	}
-	return n.adss[height]
+	ads, err := n.ads.At(height)
+	if err != nil {
+		return nil, fmt.Errorf("core: ADS at height %d: %w", height, err)
+	}
+	if ads == nil {
+		return nil, fmt.Errorf("core: no ADS at committed height %d", height)
+	}
+	return ads, nil
 }
+
+// ADSStats snapshots the node's ADS-source counters (cache hits,
+// misses, decodes, footprint).
+func (n *FullNode) ADSStats() adstore.Stats { return n.ads.Stats() }
 
 // HeaderAt implements ChainView.
 func (n *FullNode) HeaderAt(height int) (chain.Header, error) {

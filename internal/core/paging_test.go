@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"github.com/vchain-go/vchain/internal/chain"
+	"github.com/vchain-go/vchain/internal/storage"
+)
+
+// reopenPaged closes nothing: it opens dir with a bounded ADS cache
+// and registers cleanup.
+func reopenPaged(t *testing.T, b *Builder, dir string, nopts ...NodeOption) *FullNode {
+	t.Helper()
+	node, err := OpenFullNode(0, b, dir, storage.Options{}, nopts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Close() })
+	return node
+}
+
+// TestPagedReopenServesIdenticalVO checks the tiering acceptance
+// criterion: a reopened node whose decoded-ADS residency is bounded to
+// a couple of blocks serves the same verified window VO as the warm
+// node that mined the chain. (Structural equality, not byte equality:
+// gob's map encoding order is nondeterministic.)
+func TestPagedReopenServesIdenticalVO(t *testing.T) {
+	acc := testAccs(t)["acc2"]
+	b := &Builder{Acc: acc, Mode: ModeBoth, SkipSize: 2, Width: testWidth}
+	dir := t.TempDir()
+
+	warm := openTestNode(t, b, dir)
+	const blocks = 10
+	for i := 0; i < blocks; i++ {
+		if _, err := warm.MineBlock(carObjects(uint64(i*10)), int64(1000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := sedanBenzQuery(0, blocks-1)
+	warmVO, err := warm.SP(false).TimeWindowQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headers := warm.Store.Headers()
+	if err := warm.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	paged := reopenPaged(t, b, dir, WithADSCache(2))
+	pagedVO, err := paged.SP(false).TimeWindowQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warmVO, pagedVO) {
+		t.Fatal("paged node's VO differs from the warm node's")
+	}
+
+	light := chain.NewLightStore(0)
+	if err := light.Sync(headers); err != nil {
+		t.Fatal(err)
+	}
+	results, err := (&Verifier{Acc: acc, Light: light}).VerifyTimeWindow(q, pagedVO)
+	if err != nil {
+		t.Fatalf("paged node's VO rejected: %v", err)
+	}
+	if len(results) != blocks {
+		t.Fatalf("results %d, want %d", len(results), blocks)
+	}
+	st := paged.ADSStats()
+	if st.Entries > 2 {
+		t.Fatalf("cache holds %d entries, budget is 2", st.Entries)
+	}
+	if st.Decodes == 0 {
+		t.Fatal("paged query decoded nothing — cache was not actually cold")
+	}
+}
+
+// TestPagedConcurrentQueriesAndMining hammers a tiny-cache paged node
+// with window queries while a miner extends the chain — run with
+// -race. Eviction churn is forced (budget 2, chain 8+) and every
+// query must still verify.
+func TestPagedConcurrentQueriesAndMining(t *testing.T) {
+	acc := testAccs(t)["acc2"]
+	b := &Builder{Acc: acc, Mode: ModeBoth, SkipSize: 2, Width: testWidth}
+	dir := t.TempDir()
+
+	seed := openTestNode(t, b, dir)
+	const blocks = 8
+	for i := 0; i < blocks; i++ {
+		if _, err := seed.MineBlock(carObjects(uint64(i*10)), int64(1000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := seed.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	node := reopenPaged(t, b, dir, WithADSCache(2))
+	light := chain.NewLightStore(0)
+	if err := light.Sync(node.Store.Headers()); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				// Rotate sub-windows so goroutines contend for
+				// different residency sets.
+				start := (g + i) % (blocks / 2)
+				q := sedanBenzQuery(start, start+blocks/2-1)
+				vo, err := node.SP(false).TimeWindowQuery(q)
+				if err != nil {
+					t.Errorf("goroutine %d query %d: %v", g, i, err)
+					return
+				}
+				if _, err := (&Verifier{Acc: acc, Light: light}).VerifyTimeWindow(q, vo); err != nil {
+					t.Errorf("goroutine %d query %d verification: %v", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			if _, err := node.MineBlock(carObjects(uint64((blocks+i)*10)), int64(1000+blocks+i)); err != nil {
+				t.Errorf("mining under query load: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	st := node.ADSStats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under a 2-block budget on a %d+ block chain: %+v", blocks, st)
+	}
+	if st.Entries > 2 {
+		t.Fatalf("cache holds %d entries, budget is 2", st.Entries)
+	}
+}
+
+// TestPagedSingleFlightDecodes reopens with an unbounded cache and
+// fires many identical window queries at once: single-flight page-ins
+// mean each height decodes at most once, no matter how many walkers
+// ask for it concurrently.
+func TestPagedSingleFlightDecodes(t *testing.T) {
+	acc := testAccs(t)["acc2"]
+	b := &Builder{Acc: acc, Mode: ModeBoth, SkipSize: 2, Width: testWidth}
+	dir := t.TempDir()
+
+	seed := openTestNode(t, b, dir)
+	const blocks = 6
+	for i := 0; i < blocks; i++ {
+		if _, err := seed.MineBlock(carObjects(uint64(i*10)), int64(1000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := seed.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	node := reopenPaged(t, b, dir) // unbounded: entries never evict
+	q := sedanBenzQuery(0, blocks-1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := node.SP(false).TimeWindowQuery(q); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := node.ADSStats()
+	if st.Decodes > int64(blocks) {
+		t.Fatalf("%d decodes for %d distinct heights — single-flight failed: %+v", st.Decodes, blocks, st)
+	}
+	if st.Decodes == 0 {
+		t.Fatal("no decodes recorded — queries did not page in")
+	}
+}
+
+// TestMemoryBoundedReopenSmoke is the CI memory smoke: mine a long
+// toy chain to a log, reopen with a small ADS cache, and check the
+// heap stays under a fixed budget while a verified query succeeds.
+// The point is the asymptote — decoded-ADS residency no longer scales
+// with chain length, only with the cache bound.
+func TestMemoryBoundedReopenSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long chain; skipped in -short")
+	}
+	acc := testAccs(t)["acc2"]
+	b := &Builder{Acc: acc, Mode: ModeBoth, SkipSize: 2, Width: testWidth}
+	dir := t.TempDir()
+
+	// One tiny object per block keeps mining cheap while the chain
+	// gets long enough that unbounded residency would dwarf the cache.
+	const blocks = 2000
+	seed := openTestNode(t, b, dir)
+	for i := 0; i < blocks; i++ {
+		objs := []chain.Object{{
+			ID: chain.ObjectID(i + 1), TS: int64(1000 + i),
+			V: []int64{int64(i % 8)}, W: []string{"sedan", "benz"},
+		}}
+		if _, err := seed.MineBlock(objs, int64(1000+i)); err != nil {
+			t.Fatalf("mining block %d: %v", i, err)
+		}
+	}
+	headers := seed.Store.Headers()
+	if err := seed.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	const cacheBlocks = 16
+	node := reopenPaged(t, b, dir, WithADSCache(cacheBlocks))
+	if node.Height() != blocks {
+		t.Fatalf("reopened height %d, want %d", node.Height(), blocks)
+	}
+
+	// Serve a verified query over a recent window: pages in a working
+	// set, evicting as it goes.
+	q := sedanBenzQuery(blocks-64, blocks-1)
+	vo, err := node.SP(false).TimeWindowQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	light := chain.NewLightStore(0)
+	if err := light.Sync(headers); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&Verifier{Acc: acc, Light: light}).VerifyTimeWindow(q, vo); err != nil {
+		t.Fatalf("bounded-cache node's VO rejected: %v", err)
+	}
+
+	st := node.ADSStats()
+	if st.Entries > cacheBlocks {
+		t.Fatalf("cache holds %d decoded ADSs, budget is %d", st.Entries, cacheBlocks)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("64-block window under a %d-block budget evicted nothing: %+v", cacheBlocks, st)
+	}
+
+	// Fixed heap budget: headers + skip index + a 16-block decoded
+	// working set fit comfortably; 2000 resident ADSs would not.
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	const heapBudget = 64 << 20
+	if ms.HeapAlloc > heapBudget {
+		t.Fatalf("HeapAlloc %d MiB over the %d MiB budget (ADS residency unbounded?)",
+			ms.HeapAlloc>>20, int64(heapBudget)>>20)
+	}
+	t.Logf("HeapAlloc %d MiB for a %d-block chain (%s)", ms.HeapAlloc>>20, blocks,
+		fmt.Sprintf("%d cached ADSs", st.Entries))
+}

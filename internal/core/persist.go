@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -10,33 +11,61 @@ import (
 	"github.com/vchain-go/vchain/internal/storage"
 )
 
-// snapshot is the whole-chain export format: the raw blocks plus the
-// ADS bodies (which are expensive to rebuild — a Table 1 cost per
-// block). It predates the incremental block store and is kept as a
-// migration and interchange format: Save exports any node's state
-// (whatever its backend) to one stream, and Load imports a snapshot
-// through the atomic commit pipeline — onto a durable backend if the
-// node has one. The accumulator public key is NOT part of a snapshot;
-// it is deployment configuration.
-type snapshot struct {
-	Blocks []*chain.Block
-	ADSs   []*BlockADS
+// The whole-chain export format predates the incremental block store
+// and is kept as a migration and interchange format. Since the paged
+// refactor it is a stream: a header with the entry count, then one
+// (block, ADS) entry per height in one gob stream — Save reads each
+// ADS through the source's scratch path (never faulting the chain into
+// a paged cache) and Load validates and persists entry by entry, so
+// neither side ever holds more than one decoded ADS beyond what the
+// node's own policy retains. The accumulator public key is NOT part of
+// a snapshot; it is deployment configuration.
+
+// snapshotHeader opens a snapshot stream. Version 0 identifies the
+// retired pre-paging format (a single monolithic gob), which carried
+// no header at all.
+type snapshotHeader struct {
+	Version int
+	Count   int
 }
 
-// Save serializes the node's chain and ADS bodies to w.
+// snapshotVersion is the streamed format introduced with the paged ADS
+// store.
+const snapshotVersion = 2
+
+// snapshotEntry is one height of a snapshot stream.
+type snapshotEntry struct {
+	Block *chain.Block
+	ADS   *BlockADS
+}
+
+// Save serializes the node's chain and ADS bodies to w, streaming
+// height by height. ADS bodies are read through the source's bypass
+// path: exporting a paged node leaves its cache (and its budget)
+// untouched.
 func (n *FullNode) Save(w io.Writer) error {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	snap := snapshot{ADSs: n.adss}
-	for h := 0; h < n.Store.Height(); h++ {
+	height := n.Store.Height()
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(snapshotHeader{Version: snapshotVersion, Count: height}); err != nil {
+		return fmt.Errorf("core: encoding snapshot header: %w", err)
+	}
+	for h := 0; h < height; h++ {
 		b, err := n.Store.BlockAt(h)
 		if err != nil {
 			return err
 		}
-		snap.Blocks = append(snap.Blocks, b)
-	}
-	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
-		return fmt.Errorf("core: encoding snapshot: %w", err)
+		ads, err := n.ads.Scratch(h)
+		if err != nil {
+			return fmt.Errorf("core: snapshot read of ADS %d: %w", h, err)
+		}
+		if ads == nil {
+			return fmt.Errorf("core: no ADS at height %d", h)
+		}
+		if err := enc.Encode(snapshotEntry{Block: b, ADS: ads}); err != nil {
+			return fmt.Errorf("core: encoding snapshot block %d: %w", h, err)
+		}
 	}
 	return nil
 }
@@ -54,67 +83,96 @@ func (n *FullNode) SaveFile(path string) error {
 	return f.Sync()
 }
 
-// Load imports a snapshot into this (empty) node, all or nothing: the
-// whole snapshot is staged and validated first — every block against
-// the difficulty and linkage rules, every ADS against its header
-// commitments — and only then committed through the atomic pipeline,
-// persisting each record to the node's backend. A corrupted or
-// tampered snapshot is rejected with the node still empty; no reader
-// can ever observe a half-imported chain.
+// Load imports a snapshot into this (empty) node, all or nothing: each
+// streamed entry is validated — every block against the difficulty and
+// linkage rules, every ADS against its header commitments — and
+// persisted to the node's backend as it arrives, and the chain is
+// published only after the whole stream checks out. A corrupted or
+// tampered snapshot, or a backend failure mid-import (e.g. disk full),
+// truncates the backend back to empty with the node's RAM never
+// touched: no reader can ever observe a half-imported chain. On a
+// paged node the imported ADS bodies are not retained in RAM — they
+// page in on first use.
 func (n *FullNode) Load(r io.Reader) error {
-	var snap snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+	dec := gob.NewDecoder(r)
+	var hdr snapshotHeader
+	if err := dec.Decode(&hdr); err != nil {
 		return fmt.Errorf("core: decoding snapshot: %w", err)
 	}
-	if len(snap.Blocks) != len(snap.ADSs) {
-		return fmt.Errorf("core: snapshot has %d blocks but %d ADSs", len(snap.Blocks), len(snap.ADSs))
+	if hdr.Version != snapshotVersion {
+		return fmt.Errorf("core: unsupported snapshot version %d (want %d; pre-paging snapshots must be re-exported)", hdr.Version, snapshotVersion)
+	}
+	if hdr.Count < 0 {
+		return fmt.Errorf("core: snapshot claims %d blocks", hdr.Count)
 	}
 
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if len(n.adss) != 0 || n.Store.Height() != 0 {
+	if n.Store.Height() != 0 {
 		return fmt.Errorf("core: Load requires an empty node")
 	}
+	_, ephemeral := n.backend.(storage.Ephemeral)
 
-	// Stage: run every commit-time check against a scratch store before
-	// touching any node state.
-	scratch := chain.NewStore(n.Store.Difficulty())
-	for i, b := range snap.Blocks {
-		if err := n.validateCommit(b, snap.ADSs[i], scratch, i); err != nil {
-			return fmt.Errorf("core: snapshot block %d rejected: %w", i, err)
+	// rollback discards everything a failed import staged: records from
+	// the backend, nothing else was touched.
+	rollback := func(cause error) error {
+		if !ephemeral {
+			if terr := n.backend.Truncate(0); terr != nil {
+				return fmt.Errorf("%v (rollback: %v)", cause, terr)
+			}
 		}
-		if err := scratch.Append(b); err != nil {
-			return fmt.Errorf("core: snapshot block %d rejected: %w", i, err)
-		}
+		return cause
 	}
 
-	// Persist: every record reaches the backend before any becomes
-	// visible. A backend failure mid-import (e.g. disk full) truncates
-	// the backend back to empty — RAM was never touched, so the
-	// all-or-nothing contract holds even then. An ephemeral backend
-	// would discard the records: skip the encoding.
-	if _, ephemeral := n.backend.(storage.Ephemeral); !ephemeral {
-		for i, b := range snap.Blocks {
-			data, err := encodeRecord(b, snap.ADSs[i])
+	// Stage: validate and persist entry by entry against a scratch
+	// store. An ephemeral node retains the decoded pairs (they are its
+	// only copy); a durable node retains only the blocks — its ADS
+	// source pages from the records just written.
+	scratch := chain.NewStore(n.Store.Difficulty())
+	blocks := make([]*chain.Block, 0, hdr.Count)
+	var adss []*BlockADS
+	for i := 0; i < hdr.Count; i++ {
+		var e snapshotEntry
+		if err := dec.Decode(&e); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return rollback(fmt.Errorf("core: snapshot truncated at block %d of %d", i, hdr.Count))
+			}
+			return rollback(fmt.Errorf("core: decoding snapshot block %d: %w", i, err))
+		}
+		if err := n.validateCommit(e.Block, e.ADS, scratch, i); err != nil {
+			return rollback(fmt.Errorf("core: snapshot block %d rejected: %w", i, err))
+		}
+		if err := scratch.Append(e.Block); err != nil {
+			return rollback(fmt.Errorf("core: snapshot block %d rejected: %w", i, err))
+		}
+		if !ephemeral {
+			data, err := encodeRecord(e.Block, e.ADS)
 			if err == nil {
 				err = n.backend.Append(data)
 			}
 			if err != nil {
-				if terr := n.backend.Truncate(0); terr != nil {
-					return fmt.Errorf("core: persisting snapshot block %d: %v (rollback: %v)", i, err, terr)
-				}
-				return fmt.Errorf("core: persisting snapshot block %d: %w", i, err)
+				return rollback(fmt.Errorf("core: persisting snapshot block %d: %w", i, err))
 			}
+		} else {
+			adss = append(adss, e.ADS)
 		}
+		blocks = append(blocks, e.Block)
 	}
 
-	// Publish: everything validated and durable; route each pair
-	// through the commit choke point (re-persisting nothing). Failure
-	// here is unreachable — the scratch store validated this exact
-	// sequence under the same rules.
-	for i, b := range snap.Blocks {
-		if err := n.commitLocked(b, snap.ADSs[i], false); err != nil {
-			return fmt.Errorf("core: publishing snapshot block %d: %w", i, err)
+	// Publish: everything validated and durable. Failure here is
+	// unreachable — the scratch store validated this exact sequence
+	// under the same rules — but if it ever fires, the staged records
+	// must not outlive the rejected publication.
+	for i, b := range blocks {
+		if ephemeral {
+			// Source first, block second: readers gate on the store
+			// height, so the ADS must be reachable before the height
+			// advances.
+			n.ads.Add(i, adss[i])
+		}
+		if err := n.Store.Append(b); err != nil {
+			n.ads.InvalidateFrom(0)
+			return rollback(fmt.Errorf("core: publishing snapshot block %d: %w", i, err))
 		}
 	}
 	return nil

@@ -79,23 +79,30 @@ func TestLoadRejectsTamperedSnapshot(t *testing.T) {
 	}
 	// Swap two blocks' ADSs: roots will not match their headers.
 	restored := NewFullNode(0, node.Builder)
-	var snap snapshot
-	decodeInto(t, buf.Bytes(), &snap)
-	snap.ADSs[0], snap.ADSs[1] = snap.ADSs[1], snap.ADSs[0]
+	hdr, entries := decodeSnapshot(t, buf.Bytes())
+	entries[0].ADS, entries[1].ADS = entries[1].ADS, entries[0].ADS
 	var buf2 bytes.Buffer
-	encodeFrom(t, &buf2, &snap)
+	encodeSnapshot(t, &buf2, hdr, entries)
 	if err := restored.Load(&buf2); err == nil {
 		t.Fatal("tampered snapshot accepted")
 	}
 
-	// Mismatched lengths.
-	var snap2 snapshot
-	decodeInto(t, buf.Bytes(), &snap2)
-	snap2.ADSs = snap2.ADSs[:1]
+	// A stream shorter than its header claims.
+	hdr2, entries2 := decodeSnapshot(t, buf.Bytes())
 	var buf3 bytes.Buffer
-	encodeFrom(t, &buf3, &snap2)
+	encodeSnapshot(t, &buf3, hdr2, entries2[:1])
 	if err := NewFullNode(0, node.Builder).Load(&buf3); err == nil {
-		t.Fatal("truncated ADS list accepted")
+		t.Fatal("truncated snapshot accepted")
+	}
+
+	// A pre-paging (versionless / v1) snapshot must be rejected, not
+	// misparsed.
+	hdr3, entries3 := decodeSnapshot(t, buf.Bytes())
+	hdr3.Version = 1
+	var buf4 bytes.Buffer
+	encodeSnapshot(t, &buf4, hdr3, entries3)
+	if err := NewFullNode(0, node.Builder).Load(&buf4); err == nil {
+		t.Fatal("wrong-version snapshot accepted")
 	}
 
 	// Garbage bytes.
@@ -104,17 +111,32 @@ func TestLoadRejectsTamperedSnapshot(t *testing.T) {
 	}
 }
 
-func decodeInto(t *testing.T, b []byte, snap *snapshot) {
+func decodeSnapshot(t *testing.T, b []byte) (snapshotHeader, []snapshotEntry) {
 	t.Helper()
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(snap); err != nil {
+	dec := gob.NewDecoder(bytes.NewReader(b))
+	var hdr snapshotHeader
+	if err := dec.Decode(&hdr); err != nil {
 		t.Fatal(err)
 	}
+	entries := make([]snapshotEntry, hdr.Count)
+	for i := range entries {
+		if err := dec.Decode(&entries[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return hdr, entries
 }
 
-func encodeFrom(t *testing.T, buf *bytes.Buffer, snap *snapshot) {
+func encodeSnapshot(t *testing.T, buf *bytes.Buffer, hdr snapshotHeader, entries []snapshotEntry) {
 	t.Helper()
-	if err := gob.NewEncoder(buf).Encode(snap); err != nil {
+	enc := gob.NewEncoder(buf)
+	if err := enc.Encode(hdr); err != nil {
 		t.Fatal(err)
+	}
+	for i := range entries {
+		if err := enc.Encode(entries[i]); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

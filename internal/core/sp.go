@@ -141,7 +141,10 @@ func (sp *SP) TimeWindowQueryCtx(ctx context.Context, q Query) (*VO, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: window walk at height %d: %w", h, err)
 		}
-		ads := sp.View.ADSAt(h)
+		ads, err := sp.View.ADSAt(h)
+		if err != nil {
+			return nil, fmt.Errorf("core: window walk at height %d: %w", h, err)
+		}
 		if ads == nil {
 			return nil, fmt.Errorf("core: no ADS at height %d", h)
 		}

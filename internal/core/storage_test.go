@@ -56,7 +56,7 @@ func TestOpenFullNodePersistsAcrossRestart(t *testing.T) {
 		if err != nil || got != want {
 			t.Fatalf("header %d = %+v, %v; want %+v", h, got, err, want)
 		}
-		if re.ADSAt(h) == nil {
+		if mustADS(t, re, h) == nil {
 			t.Fatalf("no ADS at %d after reopen", h)
 		}
 	}
@@ -213,7 +213,7 @@ func TestConcurrentMineAndQuery(t *testing.T) {
 				// visible, every ADS below it must be too.
 				h := node.Height()
 				for i := 0; i < h; i++ {
-					if node.ADSAt(i) == nil {
+					if ads, err := node.ADSAt(i); err != nil || ads == nil {
 						torn.Add(1)
 					}
 				}
@@ -270,10 +270,7 @@ func TestConcurrentMinersStayAligned(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ads := node.ADSAt(h)
-		if ads == nil {
-			t.Fatalf("no ADS at %d", h)
-		}
+		ads := mustADS(t, node, h)
 		if ads.Height != h || ads.MerkleRoot() != hdr.MerkleRoot {
 			t.Fatalf("ADS at %d does not correspond to its block (ads height %d)", h, ads.Height)
 		}
@@ -290,11 +287,10 @@ func TestLoadIsAllOrNothing(t *testing.T) {
 
 	// Corrupt a mid-snapshot block: swap ADSs 2 and 3 so block 2 fails
 	// the header cross-check after 0 and 1 validated.
-	var snap snapshot
-	decodeInto(t, buf.Bytes(), &snap)
-	snap.ADSs[2], snap.ADSs[3] = snap.ADSs[3], snap.ADSs[2]
+	hdr, entries := decodeSnapshot(t, buf.Bytes())
+	entries[2].ADS, entries[3].ADS = entries[3].ADS, entries[2].ADS
 	var tampered bytes.Buffer
-	encodeFrom(t, &tampered, &snap)
+	encodeSnapshot(t, &tampered, hdr, entries)
 
 	restored, err := NewFullNodeOn(0, node.Builder, storage.NewMemory())
 	if err != nil {
@@ -308,7 +304,7 @@ func TestLoadIsAllOrNothing(t *testing.T) {
 	if restored.Height() != 0 {
 		t.Fatalf("failed Load left height %d, want 0", restored.Height())
 	}
-	if restored.ADSAt(0) != nil {
+	if ads, _ := restored.ADSAt(0); ads != nil {
 		t.Fatal("failed Load left an ADS behind")
 	}
 	if restored.Backend().Len() != 0 {
@@ -361,10 +357,14 @@ func TestSnapshotMigratesOntoLogBackend(t *testing.T) {
 	if err := re.Save(&out); err != nil {
 		t.Fatal(err)
 	}
-	var reSnap snapshot
-	decodeInto(t, out.Bytes(), &reSnap)
-	if len(reSnap.Blocks) != 4 || len(reSnap.ADSs) != 4 {
-		t.Fatalf("re-export has %d blocks / %d ADSs", len(reSnap.Blocks), len(reSnap.ADSs))
+	reHdr, reEntries := decodeSnapshot(t, out.Bytes())
+	if reHdr.Count != 4 || len(reEntries) != 4 {
+		t.Fatalf("re-export has %d blocks (%d entries)", reHdr.Count, len(reEntries))
+	}
+	for i, e := range reEntries {
+		if e.Block == nil || e.ADS == nil {
+			t.Fatalf("re-export entry %d missing block or ADS", i)
+		}
 	}
 }
 
@@ -401,7 +401,8 @@ func TestLoadRollsBackOnBackendFailure(t *testing.T) {
 	}
 	// All-or-nothing even for persistence failures: nothing visible in
 	// RAM, nothing left in the backend.
-	if restored.Height() != 0 || restored.ADSAt(0) != nil {
+	ads, _ := restored.ADSAt(0)
+	if restored.Height() != 0 || ads != nil {
 		t.Fatalf("failed import left height %d visible", restored.Height())
 	}
 	if be.Len() != 0 {

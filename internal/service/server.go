@@ -164,7 +164,10 @@ func (s *Server) acceptLoop(ln net.Listener) {
 // subscriber whose queue is full is evicted rather than awaited: one
 // slow consumer must not block the mining path or other subscribers.
 func (s *Server) ProcessBlock(height int) error {
-	ads := s.node.ADSAt(height)
+	ads, err := s.node.ADSAt(height)
+	if err != nil {
+		return fmt.Errorf("service: ADS at height %d: %w", height, err)
+	}
 	if ads == nil {
 		return fmt.Errorf("service: no ADS at height %d", height)
 	}

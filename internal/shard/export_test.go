@@ -1,12 +1,14 @@
 package shard
 
-// DropADSForTest removes height h's ADS from its owning shard,
-// simulating in-RAM state loss so tests can trigger deterministic
-// mid-query failures without touching the storage layer.
+// DropADSForTest removes the ADSs at heights >= h from h's owning
+// shard, simulating in-RAM state loss so tests can trigger
+// deterministic mid-query failures without touching the storage layer.
+// (Callers drop the shard's topmost owned height, so in practice
+// exactly one entry goes.)
 func (n *Node) DropADSForTest(h int) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	delete(n.shards[n.owner(h)].adss, h)
+	n.shards[n.owner(h)].ads.InvalidateFrom(h)
 }
 
 // RecordHeightForTest exposes recordHeight for the record-placement

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"github.com/vchain-go/vchain/internal/adstore"
 	"github.com/vchain-go/vchain/internal/core"
 	"github.com/vchain-go/vchain/internal/proofs"
 	"github.com/vchain-go/vchain/internal/storage"
@@ -62,6 +63,9 @@ type Stats struct {
 	Health Health
 	// Proofs snapshots the shard engine's counters.
 	Proofs proofs.Stats
+	// ADS snapshots the shard's decoded-ADS source counters (cache
+	// hits, misses, page-in decodes, footprint).
+	ADS adstore.Stats
 	// Failures counts backend failures (including failed restarts).
 	Failures uint64
 	// Restarts counts successful supervisor restarts.
@@ -220,9 +224,13 @@ func (n *Node) ownedRecords(shard, h int) int {
 }
 
 // RestartShard closes and re-opens shard i from its durable log,
-// re-verifying every record against the global header index, and
-// closes the breaker on success. The whole node pauses under the
-// router lock for the duration (a restart is rare and the shard's
+// re-verifying every record's block header against the global header
+// index, and closes the breaker on success. The decoded-ADS set is
+// NOT rebuilt: the shard comes back with an empty paged source and
+// repopulates lazily as queries fault heights in (each page-in
+// verified against its header), so restart cost is one block decode
+// per owned record regardless of ADS size. The whole node pauses under
+// the router lock for the duration (a restart is rare and the shard's
 // alternative is serving nothing at all). On failure the shard stays
 // quarantined and the cooldown restarts.
 //
@@ -247,10 +255,10 @@ func (n *Node) RestartShard(i int) error {
 	// directory flock that the re-open needs.
 	w.backend.Close()
 
-	restore := func() (storage.Backend, map[int]*core.BlockADS, error) {
+	restore := func() (storage.Backend, error) {
 		log, err := storage.Open(filepath.Join(n.dir, w.dir), n.opts.Storage)
 		if err != nil {
-			return nil, nil, fmt.Errorf("re-opening log: %w", err)
+			return nil, fmt.Errorf("re-opening log: %w", err)
 		}
 		be := n.wrap(i, log)
 		// The shard must hold exactly the records for the heights it
@@ -261,49 +269,47 @@ func (n *Node) RestartShard(i int) error {
 		if be.Len() > want {
 			if err := be.Truncate(want); err != nil {
 				be.Close()
-				return nil, nil, fmt.Errorf("truncating %d surplus records: %w", be.Len()-want, err)
+				return nil, fmt.Errorf("truncating %d surplus records: %w", be.Len()-want, err)
 			}
 		}
 		if be.Len() < want {
 			be.Close()
-			return nil, nil, fmt.Errorf("log holds %d records, chain height %d requires %d",
+			return nil, fmt.Errorf("log holds %d records, chain height %d requires %d",
 				be.Len(), n.store.Height(), want)
 		}
-		adss := make(map[int]*core.BlockADS, want)
 		for r := 0; r < want; r++ {
 			h := n.recordHeight(i, r)
 			data, err := be.Read(r)
 			if err != nil {
 				be.Close()
-				return nil, nil, fmt.Errorf("reading record %d (height %d): %w", r, h, err)
+				return nil, fmt.Errorf("reading record %d (height %d): %w", r, h, err)
 			}
-			blk, ads, err := core.DecodeChainRecord(data)
+			blk, err := core.DecodeChainRecordBlock(data)
 			if err != nil {
 				be.Close()
-				return nil, nil, fmt.Errorf("record %d (height %d): %w", r, h, err)
+				return nil, fmt.Errorf("record %d (height %d): %w", r, h, err)
 			}
 			stored, err := n.store.BlockAt(h)
 			if err != nil {
 				be.Close()
-				return nil, nil, fmt.Errorf("record %d: no stored header at height %d: %w", r, h, err)
+				return nil, fmt.Errorf("record %d: no stored header at height %d: %w", r, h, err)
 			}
 			if blk.Header.Hash() != stored.Header.Hash() {
 				be.Close()
-				return nil, nil, fmt.Errorf("record %d (height %d): header diverges from chain", r, h)
+				return nil, fmt.Errorf("record %d (height %d): header diverges from chain", r, h)
 			}
-			adss[h] = ads
 		}
-		return be, adss, nil
+		return be, nil
 	}
 
-	be, adss, err := restore()
+	be, err := restore()
 	if err != nil {
 		err = fmt.Errorf("shard %d: restart: %w", i, err)
 		w.restartFailed(err)
 		return err
 	}
 	w.backend = be
-	w.adss = adss
+	w.ads = n.pagedSource(w)
 	w.recovered()
 	return nil
 }

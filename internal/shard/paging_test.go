@@ -1,0 +1,200 @@
+package shard_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/vchain-go/vchain/internal/core"
+	"github.com/vchain-go/vchain/internal/fault"
+	"github.com/vchain-go/vchain/internal/shard"
+	"github.com/vchain-go/vchain/internal/storage"
+)
+
+// totalDecodes sums the decoded-ADS page-in counters across shards.
+func totalDecodes(stats []shard.Stats) int64 {
+	var n int64
+	for _, st := range stats {
+		n += st.ADS.Decodes
+	}
+	return n
+}
+
+// TestShardedLazyReopenPagesIn reopens a durable sharded node and
+// checks that no ADS is decoded until a query actually needs it: the
+// reopen replays headers only, and the first verified window query
+// pages the bodies in on demand.
+func TestShardedLazyReopenPagesIn(t *testing.T) {
+	acc := testAcc(t)
+	opts := shard.Options{Shards: 2, Band: 2, Workers: 2, ADSCacheBlocks: 4}
+	dir := t.TempDir()
+
+	node, _, err := shard.Open(0, testBuilder(acc), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const blocks = 12
+	mineBlocks(t, node, blocks)
+	if err := node.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, _, err := shard.Open(0, testBuilder(acc), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Height() != blocks {
+		t.Fatalf("reopened height %d, want %d", re.Height(), blocks)
+	}
+	if got := totalDecodes(re.ShardStats()); got != 0 {
+		t.Fatalf("reopen decoded %d ADSs before any query, want 0 (lazy)", got)
+	}
+
+	q := sedanBenzQuery(0, blocks-1)
+	parts, err := re.TimeWindowParts(context.Background(), q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ver := &core.Verifier{Acc: acc, Light: lightFor(t, re.Headers())}
+	objs, err := ver.VerifyWindowParts(q, parts)
+	if err != nil {
+		t.Fatalf("reopened node's window parts rejected: %v", err)
+	}
+	if len(objs) != blocks {
+		t.Fatalf("results %d, want %d", len(objs), blocks)
+	}
+	if got := totalDecodes(re.ShardStats()); got == 0 {
+		t.Fatal("query over a lazily reopened node decoded no ADSs")
+	}
+	// The cache budget (4 total, split 2 per shard) actually bounds
+	// residency: a 12-block chain cannot fit.
+	for i, st := range re.ShardStats() {
+		if st.ADS.Entries > 2 {
+			t.Fatalf("shard %d holds %d decoded ADSs, budget is 2", i, st.ADS.Entries)
+		}
+	}
+}
+
+// TestPageInFaultDegradesToGap injects read faults into one shard's
+// log after a lazy reopen: strict queries surface a typed error (no
+// panic), degraded queries gap out exactly the sick shard's heights,
+// and repeated page-in failures feed the breaker until the shard
+// quarantines.
+func TestPageInFaultDegradesToGap(t *testing.T) {
+	const target = 1
+	acc := testAcc(t)
+	sched := fault.NewSchedule()
+	opts := shard.Options{
+		Shards:           2,
+		Band:             2,
+		Workers:          2,
+		ADSCacheBlocks:   2, // 1 per shard: every older height must page in
+		FailureThreshold: 3,
+		BreakerCooldown:  time.Hour,
+		WrapBackend: func(id int, b storage.Backend) storage.Backend {
+			if id == target {
+				return fault.WrapBackend(b, sched)
+			}
+			return b
+		},
+	}
+	dir := t.TempDir()
+	node, _, err := shard.Open(0, testBuilder(acc), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const blocks = 8 // shard 1 owns {2,3} and {6,7}
+	mineBlocks(t, node, blocks)
+	if err := node.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen first (the replay reads every record for its block half),
+	// THEN break the shard's reads: from here on, any ADS page-in on
+	// shard 1 hits injected IO errors.
+	re, _, err := shard.Open(0, testBuilder(acc), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	sched.NextFailures(fault.OpRead, 1000)
+
+	q := sedanBenzQuery(0, blocks-1)
+	if _, err := re.TimeWindowParts(context.Background(), q, false); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("strict query over broken shard: err = %v, want injected page-in error", err)
+	}
+
+	parts, gaps, err := re.TimeWindowDegraded(context.Background(), q, false)
+	if err != nil {
+		t.Fatalf("degraded query: %v", err)
+	}
+	wantGaps := []core.Gap{{Start: 6, End: 7}, {Start: 2, End: 3}}
+	if !reflect.DeepEqual(gaps, wantGaps) {
+		t.Fatalf("gaps = %v, want %v (exactly the broken shard's heights)", gaps, wantGaps)
+	}
+	ver := &core.Verifier{Acc: acc, Light: lightFor(t, re.Headers())}
+	if _, err := ver.VerifyDegraded(q, parts, gaps); !errors.Is(err, core.ErrDegraded) {
+		t.Fatalf("VerifyDegraded err = %v, want ErrDegraded", err)
+	}
+
+	// Page-in failures feed the breaker like any other shard fault:
+	// keep asking and the shard quarantines.
+	for i := 0; i < 5 && re.Health(target) != shard.Quarantined; i++ {
+		if _, _, err := re.TimeWindowDegraded(context.Background(), q, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := re.Health(target); got != shard.Quarantined {
+		t.Fatalf("shard %d health %v after repeated page-in failures, want quarantined", target, got)
+	}
+	if st := re.ShardStats()[target]; st.Failures == 0 {
+		t.Fatalf("page-in failures not recorded in shard stats: %+v", st)
+	}
+}
+
+// TestRestartShardRepopulatesLazily restarts a quarantined shard and
+// checks the restart itself decodes no ADS bodies — header-only
+// verification — with the decoded set repopulating on the first query.
+func TestRestartShardRepopulatesLazily(t *testing.T) {
+	const target = 1
+	acc := testAcc(t)
+	opts := shard.Options{Shards: 2, Band: 2, Workers: 2, ADSCacheBlocks: 4}
+	node, _, err := shard.Open(0, testBuilder(acc), t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	const blocks = 8
+	mineBlocks(t, node, blocks)
+
+	if err := node.Quarantine(target, errors.New("operator fence")); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.RestartShard(target); err != nil {
+		t.Fatalf("RestartShard: %v", err)
+	}
+	if got := node.Health(target); got != shard.Healthy {
+		t.Fatalf("shard %d health %v after restart, want healthy", target, got)
+	}
+	if got := node.ShardStats()[target].ADS.Decodes; got != 0 {
+		t.Fatalf("restart decoded %d ADSs eagerly, want 0 (lazy repopulation)", got)
+	}
+
+	// First query touching the restarted shard pages its ADSs back in
+	// and still verifies.
+	q := sedanBenzQuery(2, 3) // owned by shard 1
+	parts, err := node.TimeWindowParts(context.Background(), q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ver := &core.Verifier{Acc: acc, Light: lightFor(t, node.Headers())}
+	if _, err := ver.VerifyWindowParts(q, parts); err != nil {
+		t.Fatalf("restarted shard's parts rejected: %v", err)
+	}
+	if got := node.ShardStats()[target].ADS.Decodes; got == 0 {
+		t.Fatal("query after restart decoded no ADSs")
+	}
+}

@@ -4,8 +4,9 @@
 // space is embarrassingly partitionable: this package splits the chain
 // into contiguous height bands assigned round-robin to N shard
 // workers, each owning its own storage backend, proof-engine slice,
-// and decoded ADS set. A router in front preserves the monolithic
-// node's semantics exactly:
+// and decoded-ADS source (internal/adstore: resident for ephemeral
+// shards, a paged LRU over the shard's log for durable ones). A router
+// in front preserves the monolithic node's semantics exactly:
 //
 //   - Commit: a block commits to exactly one shard through the same
 //     validate-persist-publish discipline as core.FullNode — validated
@@ -37,6 +38,7 @@ import (
 	"time"
 
 	"github.com/vchain-go/vchain/internal/accumulator"
+	"github.com/vchain-go/vchain/internal/adstore"
 	"github.com/vchain-go/vchain/internal/chain"
 	"github.com/vchain-go/vchain/internal/core"
 	"github.com/vchain-go/vchain/internal/proofs"
@@ -69,6 +71,13 @@ type Options struct {
 	// CacheSize bounds each shard engine's proof cache (see
 	// proofs.Options.CacheSize).
 	CacheSize int
+	// ADSCacheBlocks bounds the node's decoded-ADS cache, in blocks,
+	// split evenly across the shards (each worker keeps at least one
+	// entry). 0 leaves the paged sources unbounded — everything faulted
+	// in stays resident, matching the pre-paging footprint once warm.
+	// Durable nodes only; an ephemeral shard's decoded set is its only
+	// copy and stays fully resident.
+	ADSCacheBlocks int
 	// Storage configures each shard's segmented-log backend (durable
 	// nodes only).
 	Storage storage.Options
@@ -113,16 +122,19 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// worker is one shard: its backend, proof engine, and the decoded ADSs
-// of the heights it owns. The router's mutex guards adss and backend;
-// the worker's own hmu guards only the health state machine (health.go)
-// so health can be read without the router lock.
+// worker is one shard: its backend, proof engine, and the decoded-ADS
+// source for the heights it owns. The router's mutex guards the
+// backend and ads fields themselves (RestartShard swaps both); the
+// source and backend are internally synchronized, so readers fetch the
+// pointers under a brief RLock and page in outside it. The worker's
+// own hmu guards only the health state machine (health.go) so health
+// can be read without the router lock.
 type worker struct {
 	id      int
 	dir     string
 	backend storage.Backend
 	engine  *proofs.Engine
-	adss    map[int]*core.BlockADS
+	ads     core.ADSSource
 
 	// Health state machine — see health.go. Guarded by hmu.
 	hmu         sync.Mutex
@@ -159,8 +171,11 @@ type Node struct {
 	// budget as query proofs.
 	router *proofs.Engine
 
-	// mu serializes the commit pipeline and guards every worker's adss
-	// map.
+	// mu serializes the commit pipeline and guards every worker's
+	// backend and ads fields. Readers (ADSAt, the paged Read callbacks)
+	// take it only long enough to fetch a pointer — page-in IO and
+	// decode always run outside it, so a slow fault-in never stalls
+	// mining and vice versa.
 	mu sync.RWMutex
 
 	// SetupStats accumulates miner-side ADS construction cost.
@@ -210,7 +225,6 @@ func newNode(difficulty chain.Difficulty, b *core.Builder, opts Options) *Node {
 				CacheSize: opts.CacheSize,
 				Limiter:   n.limiter,
 			}),
-			adss: make(map[int]*core.BlockADS),
 		})
 	}
 	n.router = proofs.New(b.Acc, proofs.Options{
@@ -227,8 +241,62 @@ func New(difficulty chain.Difficulty, b *core.Builder, opts Options) *Node {
 	n := newNode(difficulty, b, opts.withDefaults())
 	for _, w := range n.shards {
 		w.backend = n.wrap(w.id, storage.NewNull())
+		w.ads = adstore.NewResident[*core.BlockADS]()
 	}
 	return n
+}
+
+// heightRecord maps an owned chain height to its record index within
+// the owning shard's log (the inverse of recordHeight): height h sits
+// in global round h/(Band*Shards), at offset h%Band within the band.
+func (n *Node) heightRecord(h int) int {
+	round := n.opts.Band * n.opts.Shards
+	return (h/round)*n.opts.Band + h%n.opts.Band
+}
+
+// pagedSource builds worker w's paged ADS source: a bounded LRU whose
+// misses read the owning record from the shard's log and whose decode
+// re-verifies the ADS against the global header index (a verified
+// fetch). The Read callback re-fetches w.backend under the router lock
+// each time, so the source stays valid across a RestartShard backend
+// swap — an in-flight read against the closed old backend fails
+// cleanly and surfaces as a page-in error.
+func (n *Node) pagedSource(w *worker) core.ADSSource {
+	perShard := 0
+	if n.opts.ADSCacheBlocks > 0 {
+		if perShard = n.opts.ADSCacheBlocks / n.opts.Shards; perShard < 1 {
+			perShard = 1
+		}
+	}
+	return adstore.NewPaged(adstore.PagedConfig[*core.BlockADS]{
+		Read: func(h int) ([]byte, error) {
+			n.mu.RLock()
+			be := w.backend
+			n.mu.RUnlock()
+			return be.Read(n.heightRecord(h))
+		},
+		Decode:     func(h int, data []byte) (*core.BlockADS, error) { return n.decodePagedADS(h, data) },
+		Size:       func(ads *core.BlockADS) int { return ads.SizeBytes(n.builder.Acc) },
+		MaxEntries: perShard,
+	})
+}
+
+// decodePagedADS decodes the ADS half of a shard record and re-checks
+// the commitments the lazy reopen deferred against the validated
+// global header at that height.
+func (n *Node) decodePagedADS(height int, data []byte) (*core.BlockADS, error) {
+	ads, err := core.DecodeChainRecordADS(data)
+	if err != nil {
+		return nil, fmt.Errorf("stored record for height %d: %w", height, err)
+	}
+	blk, err := n.store.BlockAt(height)
+	if err != nil {
+		return nil, fmt.Errorf("paging in ADS %d: %w", height, err)
+	}
+	if err := core.VerifyADSCommitments(n.builder, blk.Header, height, ads); err != nil {
+		return nil, err
+	}
+	return ads, nil
 }
 
 // wrap applies the configured backend wrapper, if any.
@@ -291,14 +359,18 @@ func Open(difficulty chain.Difficulty, b *core.Builder, dir string, opts Options
 			return nil, nil, fmt.Errorf("shard %d: %w", i, err)
 		}
 		w.backend = n.wrap(i, log)
+		w.ads = n.pagedSource(w)
 		report.Shards[i] = ShardReport{Dir: w.dir, Log: log.Report()}
 	}
 
 	// Replay heights 0, 1, 2, … pulling each from its owning shard's
-	// next record. The first shard that runs out of records bounds the
-	// restored chain: later heights may exist in other shards, but
-	// without the gap filled they can never be served or re-validated,
-	// so they are truncated below.
+	// next record. The replay is index-only: each record's block half is
+	// decoded and re-validated against the chain rules, while the ADS
+	// bodies stay on disk until a query pages them in (and verifies them
+	// against the headers indexed here). The first shard that runs out
+	// of records bounds the restored chain: later heights may exist in
+	// other shards, but without the gap filled they can never be served
+	// or re-validated, so they are truncated below.
 	cursors := make([]int, opts.Shards)
 	for {
 		h := n.store.Height()
@@ -312,12 +384,12 @@ func Open(difficulty chain.Difficulty, b *core.Builder, dir string, opts Options
 			closeAll()
 			return nil, nil, fmt.Errorf("shard %d: reading stored block %d: %w", o, h, err)
 		}
-		blk, ads, err := core.DecodeChainRecord(data)
+		blk, err := core.DecodeChainRecordBlock(data)
 		if err != nil {
 			closeAll()
 			return nil, nil, fmt.Errorf("shard %d: stored block %d: %w", o, h, err)
 		}
-		if err := n.commit(blk, ads, false); err != nil {
+		if err := n.store.Append(blk); err != nil {
 			closeAll()
 			return nil, nil, fmt.Errorf("shard %d: stored block %d rejected: %w", o, h, err)
 		}
@@ -414,9 +486,15 @@ func (n *Node) commit(blk *chain.Block, ads *core.BlockADS, persist bool) error 
 		}
 		w.ok()
 	}
+	// Source first, block second: readers gate on the store height
+	// without taking n.mu, so the ADS must be reachable before the
+	// height advances.
+	w.ads.Add(height, ads)
 	if err := n.store.Append(blk); err != nil {
 		// Unreachable after ValidateCommit (commits are serialized),
-		// but the durable record must not outlive a rejected append.
+		// but neither the durable record nor the cached ADS must
+		// outlive a rejected append.
+		w.ads.InvalidateFrom(height)
 		if persist {
 			if terr := w.backend.Truncate(before); terr != nil {
 				return fmt.Errorf("shard %d: store/backend divergence at block %d: %v (rollback: %v)",
@@ -425,7 +503,6 @@ func (n *Node) commit(blk *chain.Block, ads *core.BlockADS, persist bool) error 
 		}
 		return err
 	}
-	w.adss[height] = ads
 	return nil
 }
 
@@ -472,14 +549,26 @@ func (n *Node) MineBlock(objs []chain.Object, ts int64) (*chain.Block, error) {
 }
 
 // ADSAt implements core.ChainView: the global view, routed to the
-// owning shard.
-func (n *Node) ADSAt(height int) *core.BlockADS {
-	if height < 0 {
-		return nil
+// owning shard's source. (nil, nil) for a height with no block; a
+// page-in failure on the shard's log comes back as the error, which
+// the degraded query planner converts into breaker pressure and a
+// reported gap instead of a panic (see planner.go).
+func (n *Node) ADSAt(height int) (*core.BlockADS, error) {
+	if height < 0 || height >= n.store.Height() {
+		return nil, nil
 	}
+	w := n.shards[n.owner(height)]
 	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return n.shards[n.owner(height)].adss[height]
+	src := w.ads
+	n.mu.RUnlock()
+	ads, err := src.At(height)
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: ADS at height %d: %w", w.id, height, err)
+	}
+	if ads == nil {
+		return nil, fmt.Errorf("shard %d: no ADS at committed height %d", w.id, height)
+	}
+	return ads, nil
 }
 
 // HeaderAt implements core.ChainView.
@@ -522,12 +611,19 @@ func (n *Node) Band() int { return n.opts.Band }
 // budget with the shard engines.
 func (n *Node) ProofEngine() *proofs.Engine { return n.router }
 
-// ShardStats snapshots each shard's health and proof-engine counters,
-// in shard order.
+// ShardStats snapshots each shard's health, proof-engine, and
+// ADS-source counters, in shard order.
 func (n *Node) ShardStats() []Stats {
+	n.mu.RLock()
+	sources := make([]core.ADSSource, len(n.shards))
+	for i, w := range n.shards {
+		sources[i] = w.ads
+	}
+	n.mu.RUnlock()
 	out := make([]Stats, len(n.shards))
 	for i, w := range n.shards {
 		out[i] = w.stats()
+		out[i].ADS = sources[i].Stats()
 	}
 	return out
 }

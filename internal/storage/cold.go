@@ -1,0 +1,279 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// ColdTier is the offload seam for sealed segments: once a segment
+// fills it never changes again, so the whole file can live on cheaper
+// storage (an object store, an erasure-coded cluster) and be fetched
+// back on demand. Implementations store opaque named blobs; the log
+// never trusts a fetched blob — every record is CRC-verified against
+// the manifest before it is served or re-materialized locally.
+type ColdTier interface {
+	// Put durably stores data under name, overwriting any previous
+	// blob with that name.
+	Put(name string, data []byte) error
+	// Get returns the blob stored under name.
+	Get(name string) ([]byte, error)
+}
+
+// DirTier is the reference ColdTier: blobs as files in a local
+// directory, written atomically (temp file + fsync + rename).
+type DirTier struct {
+	dir string
+}
+
+// NewDirTier returns a ColdTier rooted at dir, creating it if needed.
+func NewDirTier(dir string) (*DirTier, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: creating cold dir: %w", err)
+	}
+	return &DirTier{dir: dir}, nil
+}
+
+// Put implements ColdTier.
+func (t *DirTier) Put(name string, data []byte) error {
+	return atomicWriteFile(filepath.Join(t.dir, name), data)
+}
+
+// Get implements ColdTier.
+func (t *DirTier) Get(name string) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(t.dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("storage: cold tier read: %w", err)
+	}
+	return data, nil
+}
+
+// atomicWriteFile lands data at path via temp file + fsync + rename +
+// directory sync, so a crash leaves either the old content or the new,
+// never a torn file.
+func atomicWriteFile(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: writing %s: %w", filepath.Base(path), err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: writing %s: %w", filepath.Base(path), err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: publishing %s: %w", filepath.Base(path), err)
+	}
+	dirF, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return nil
+	}
+	defer dirF.Close()
+	dirF.Sync()
+	return nil
+}
+
+// manifestName is the cold-segment manifest file kept in the log
+// directory (under the same flock as the segments). It records, for
+// every offloaded segment, the per-record framing metadata the open
+// scan would otherwise have read from the local file — so reopening a
+// log with cold segments indexes them without fetching a byte, and a
+// later fetch can be verified record-by-record against it.
+const manifestName = "COLD"
+
+type coldRec struct {
+	Off int64
+	N   int
+	Sum uint32
+}
+
+type coldSeg struct {
+	Name string
+	Size int64
+	Recs []coldRec
+}
+
+type coldManifest struct {
+	Segments []coldSeg
+}
+
+// writeManifestLocked rewrites the manifest to list exactly the
+// currently cold segments (atomically; removed when none are cold).
+// Caller holds l.mu.
+func (l *Log) writeManifestLocked() error {
+	path := filepath.Join(l.dir, manifestName)
+	var m coldManifest
+	for _, seg := range l.segs {
+		if !seg.cold {
+			continue
+		}
+		cs := coldSeg{Name: segName(seg.id), Size: seg.size}
+		for _, ref := range l.recs {
+			if ref.seg == seg.id {
+				cs.Recs = append(cs.Recs, coldRec{Off: ref.off, N: ref.n, Sum: ref.sum})
+			}
+		}
+		m.Segments = append(m.Segments, cs)
+	}
+	if len(m.Segments) == 0 {
+		if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("storage: removing cold manifest: %w", err)
+		}
+		return l.syncDir()
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&m); err != nil {
+		return fmt.Errorf("storage: encoding cold manifest: %w", err)
+	}
+	return atomicWriteFile(path, buf.Bytes())
+}
+
+// readManifest loads the cold manifest, returning an empty manifest
+// when none exists.
+func readManifest(dir string) (coldManifest, error) {
+	var m coldManifest
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return m, nil
+	}
+	if err != nil {
+		return m, fmt.Errorf("storage: reading cold manifest: %w", err)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+		return m, fmt.Errorf("storage: decoding cold manifest: %w", err)
+	}
+	return m, nil
+}
+
+// sealLocked offloads a just-filled segment to the cold tier:
+// cold copy first, then the manifest, then the local file — so a crash
+// at any point leaves either both copies (local wins on reopen) or a
+// fully offloaded segment. Offload is best-effort: any failure leaves
+// the segment local and the log fully functional. Caller holds l.mu.
+func (l *Log) sealLocked(seg *segment) {
+	if l.opts.Cold == nil || seg.cold {
+		return
+	}
+	data, err := os.ReadFile(seg.path)
+	if err != nil {
+		return
+	}
+	if err := l.opts.Cold.Put(segName(seg.id), data); err != nil {
+		return
+	}
+	seg.cold = true
+	if err := l.writeManifestLocked(); err != nil {
+		seg.cold = false
+		return
+	}
+	seg.f.Close()
+	seg.f = nil
+	os.Remove(seg.path)
+	l.syncDir()
+	l.cold.Sealed++
+}
+
+// promoteLocked re-materializes a cold segment locally: fetch, verify
+// the magic and every record CRC against the index, write the file
+// atomically, reopen it, and drop the manifest entry. Caller holds
+// l.mu.
+func (l *Log) promoteLocked(id int) error {
+	if l.closed {
+		return errors.New("storage: log closed")
+	}
+	if id < 0 || id >= len(l.segs) {
+		return fmt.Errorf("storage: segment %d out of range", id)
+	}
+	seg := l.segs[id]
+	if !seg.cold {
+		return nil
+	}
+	name := segName(id)
+	data, err := l.opts.Cold.Get(name)
+	if err != nil {
+		return fmt.Errorf("storage: cold fetch of %s: %w", name, err)
+	}
+	if err := l.verifyColdSegment(seg, data); err != nil {
+		return err
+	}
+	if err := atomicWriteFile(seg.path, data); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(seg.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: reopening promoted segment: %w", err)
+	}
+	seg.f = f
+	seg.cold = false
+	l.cold.Promotions++
+	return l.writeManifestLocked()
+}
+
+// verifyColdSegment checks a fetched segment blob against the in-RAM
+// index: size, magic, and every record's framing and CRC must match
+// what was sealed. A cold tier can lose or corrupt a blob but never
+// slip an altered record past a reader.
+func (l *Log) verifyColdSegment(seg *segment, data []byte) error {
+	name := segName(seg.id)
+	if int64(len(data)) != seg.size {
+		return fmt.Errorf("%w: cold segment %s is %d bytes, sealed %d", ErrCorruptRecord, name, len(data), seg.size)
+	}
+	if len(data) < len(logMagic) || [8]byte(data[:8]) != logMagic {
+		return fmt.Errorf("%w: cold segment %s has a bad magic", ErrCorruptRecord, name)
+	}
+	for i, ref := range l.recs {
+		if ref.seg != seg.id {
+			continue
+		}
+		end := ref.off + int64(ref.n)
+		if ref.off < int64(len(logMagic)) || end > int64(len(data)) {
+			return fmt.Errorf("%w: cold segment %s record %d out of bounds", ErrCorruptRecord, name, i)
+		}
+		if crc32.Checksum(data[ref.off:end], crcTable) != ref.sum {
+			return fmt.Errorf("%w: cold segment %s record %d", ErrCorruptRecord, name, i)
+		}
+	}
+	return nil
+}
+
+// ColdStats reports the log's tiering counters.
+type ColdStats struct {
+	// Sealed counts segments offloaded to the cold tier over the
+	// log's lifetime (this open).
+	Sealed int64
+	// Promotions counts cold segments fetched, verified, and
+	// re-materialized locally.
+	Promotions int64
+	// ColdSegments is the number of segments currently cold.
+	ColdSegments int
+	// Reads counts Backend.Read calls served (hot and cold alike).
+	Reads int64
+}
+
+// ColdStats returns the log's tiering counters.
+func (l *Log) ColdStats() ColdStats {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	s := l.cold
+	for _, seg := range l.segs {
+		if seg.cold {
+			s.ColdSegments++
+		}
+	}
+	s.Reads = l.reads.Load()
+	return s
+}

@@ -1,0 +1,192 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestReadVerifiesCRC is the flipped-byte regression: a record whose
+// payload rots on disk after commit must fail Read with the typed
+// ErrCorruptRecord, not come back silently garbled.
+func TestReadVerifiesCRC(t *testing.T) {
+	dir := t.TempDir()
+	l := openTestLog(t, dir, Options{})
+	recs := fillLog(t, l, 3)
+	checkRecords(t, l, recs)
+
+	// Flip one payload byte of the middle record directly in the file.
+	l.mu.RLock()
+	ref := l.recs[1]
+	path := l.segs[ref.seg].path
+	off := ref.off
+	l.mu.RUnlock()
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off+3); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x40
+	if _, err := f.WriteAt(b[:], off+3); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if _, err := l.Read(1); !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("Read of rotted record = %v, want ErrCorruptRecord", err)
+	}
+	// Neighbors are untouched.
+	if got, err := l.Read(0); err != nil || !bytes.Equal(got, recs[0]) {
+		t.Fatalf("Read(0) after rot: %v", err)
+	}
+	if got, err := l.Read(2); err != nil || !bytes.Equal(got, recs[2]) {
+		t.Fatalf("Read(2) after rot: %v", err)
+	}
+}
+
+func coldOptions(t *testing.T) (Options, *DirTier) {
+	t.Helper()
+	tier, err := NewDirTier(filepath.Join(t.TempDir(), "cold"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 128-byte segments force frequent rollover, so fillLog's 20+ byte
+	// records seal several segments.
+	return Options{SegmentBytes: 128, Cold: tier}, tier
+}
+
+func TestColdSealOnRoll(t *testing.T) {
+	dir := t.TempDir()
+	opts, _ := coldOptions(t)
+	l := openTestLog(t, dir, opts)
+	recs := fillLog(t, l, 10)
+	st := l.ColdStats()
+	if st.Sealed == 0 || st.ColdSegments == 0 {
+		t.Fatalf("no segments sealed: %+v", st)
+	}
+	if st.ColdSegments != l.Segments()-1 {
+		t.Fatalf("want every non-active segment cold, got %d of %d", st.ColdSegments, l.Segments())
+	}
+	// Local dir holds only the active segment (plus manifest).
+	names, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 {
+		t.Fatalf("local segments after sealing = %v", names)
+	}
+	// Reading a cold record promotes its segment and round-trips.
+	checkRecords(t, l, recs)
+	if st := l.ColdStats(); st.Promotions == 0 {
+		t.Fatalf("reads did not promote: %+v", st)
+	}
+}
+
+func TestColdReopenIsLazy(t *testing.T) {
+	dir := t.TempDir()
+	opts, _ := coldOptions(t)
+	l := openTestLog(t, dir, opts)
+	recs := fillLog(t, l, 10)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without a tier configured the cold log must refuse to open.
+	if _, err := Open(dir, Options{SegmentBytes: 128}); err == nil {
+		t.Fatal("open without a cold tier succeeded on a log with cold segments")
+	}
+
+	// Reopen indexes cold segments from the manifest without fetching.
+	l2 := openTestLog(t, dir, opts)
+	if l2.Len() != len(recs) {
+		t.Fatalf("reopened Len = %d, want %d", l2.Len(), len(recs))
+	}
+	if st := l2.ColdStats(); st.ColdSegments == 0 || st.Promotions != 0 {
+		t.Fatalf("reopen should not promote: %+v", st)
+	}
+	checkRecords(t, l2, recs)
+	if st := l2.ColdStats(); st.Promotions == 0 {
+		t.Fatalf("cold reads should promote: %+v", st)
+	}
+}
+
+func TestColdCorruptBlobSurfacesTyped(t *testing.T) {
+	dir := t.TempDir()
+	opts, tier := coldOptions(t)
+	l := openTestLog(t, dir, opts)
+	fillLog(t, l, 10)
+	st := l.ColdStats()
+	if st.ColdSegments == 0 {
+		t.Fatal("no cold segments")
+	}
+	// Rot the first sealed blob in the tier.
+	blob, err := tier.Get(segName(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)-1] ^= 0x01
+	if err := tier.Put(segName(0), blob); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Read(0); !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("read of rotted cold segment = %v, want ErrCorruptRecord", err)
+	}
+}
+
+func TestColdTruncateIntoColdSegment(t *testing.T) {
+	dir := t.TempDir()
+	opts, _ := coldOptions(t)
+	l := openTestLog(t, dir, opts)
+	recs := fillLog(t, l, 10)
+	if l.ColdStats().ColdSegments < 2 {
+		t.Skip("need at least two cold segments")
+	}
+	// Cut into the middle of the second record: the boundary segment
+	// promotes, later segments (cold and hot) disappear.
+	if err := l.Truncate(2); err != nil {
+		t.Fatal(err)
+	}
+	checkRecords(t, l, recs[:2])
+	// And the log keeps working: append, reopen, read back.
+	if err := l.Append([]byte("after-truncate")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openTestLog(t, dir, opts)
+	checkRecords(t, l2, append(append([][]byte{}, recs[:2]...), []byte("after-truncate")))
+}
+
+func TestColdLocalCopyWinsOverManifest(t *testing.T) {
+	// Crash between the manifest write and the local remove of a seal
+	// leaves the segment both local and in the manifest: reopen must
+	// prefer the local copy and drop the manifest entry.
+	dir := t.TempDir()
+	opts, tier := coldOptions(t)
+	l := openTestLog(t, dir, opts)
+	recs := fillLog(t, l, 10)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-materialize segment 0 locally, leaving its manifest entry.
+	blob, err := tier.Get(segName(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segName(0)), blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openTestLog(t, dir, opts)
+	checkRecords(t, l2, recs)
+	for _, seg := range l2.segs {
+		if seg.id == 0 && seg.cold {
+			t.Fatal("local copy did not win over the manifest entry")
+		}
+	}
+}

@@ -26,6 +26,12 @@ import (
 // ErrOutOfRange is returned by Read for an index not in [0, Len()).
 var ErrOutOfRange = errors.New("storage: record index out of range")
 
+// ErrCorruptRecord is returned by Read when a record's payload fails
+// its CRC32-C, and by cold-segment promotion when a fetched segment
+// does not match what was sealed. It means bit-rot or tampering, not
+// a transient IO failure: retrying the same read cannot succeed.
+var ErrCorruptRecord = errors.New("storage: corrupt record")
+
 // Backend is an ordered, append-only store of opaque records. Record i
 // holds the chain entry at height i. Implementations must be safe for
 // concurrent use, though the core commit path already serializes

@@ -70,7 +70,7 @@ func run(t *testing.T, acc accumulator.Accumulator, opts Options, blocks int, ma
 		if _, err := node.MineBlock(rentalObjects(i, matchAt(i)), int64(1000+i)); err != nil {
 			t.Fatal(err)
 		}
-		pubs, err := engine.ProcessBlock(node.ADSAt(i), node)
+		pubs, err := engine.ProcessBlock(adsAt(t, node, i), node)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -179,7 +179,7 @@ func TestDeregisterFlushesPending(t *testing.T) {
 		if _, err := node.MineBlock(rentalObjects(i, false), int64(i)); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := engine.ProcessBlock(node.ADSAt(i), node); err != nil {
+		if _, err := engine.ProcessBlock(adsAt(t, node, i), node); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -258,10 +258,24 @@ func TestProcessBlockNoSubscriptions(t *testing.T) {
 		t.Fatal(err)
 	}
 	engine := NewEngine(acc, Options{})
-	pubs, err := engine.ProcessBlock(node.ADSAt(0), node)
+	pubs, err := engine.ProcessBlock(adsAt(t, node, 0), node)
 	if err != nil || pubs != nil {
 		t.Errorf("want no-op, got %v, %v", pubs, err)
 	}
+}
+
+// adsAt fetches a committed height's ADS, failing the test on a
+// page-in error or absence.
+func adsAt(t testing.TB, node *core.FullNode, h int) *core.BlockADS {
+	t.Helper()
+	ads, err := node.ADSAt(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ads == nil {
+		t.Fatalf("no ADS at height %d", h)
+	}
+	return ads
 }
 
 func TestLazyWithAcc1FallsBackToFreshProofs(t *testing.T) {
@@ -324,7 +338,7 @@ func TestRegistrationChurnRebuildsIPTree(t *testing.T) {
 		if _, err := node.MineBlock(rentalObjects(h, match), int64(h)); err != nil {
 			t.Fatal(err)
 		}
-		pubs, err := engine.ProcessBlock(node.ADSAt(h), node)
+		pubs, err := engine.ProcessBlock(adsAt(t, node, h), node)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -389,7 +403,8 @@ func ExampleEngine() {
 	node.MineBlock([]chain.Object{
 		{ID: 1, TS: 1, V: []int64{4}, W: []string{"sedan", "benz"}},
 	}, 1)
-	pubs, _ := engine.ProcessBlock(node.ADSAt(0), node)
+	ads, _ := node.ADSAt(0)
+	pubs, _ := engine.ProcessBlock(ads, node)
 
 	light := chain.NewLightStore(0)
 	light.Sync(node.Store.Headers())

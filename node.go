@@ -51,15 +51,19 @@ func (s *System) NewFullNode() *FullNode {
 // OpenFullNode opens (or creates) a durable full node whose blocks and
 // ADS bodies live in a crash-safe segmented-log block store at dir.
 // Every mined or imported block is persisted atomically at commit
-// time; reopening the directory restores the chain by decoding — never
-// rebuilding — the stored ADSs, so a restarted SP serves verifiable
-// queries immediately. A torn tail left by a crash is truncated to the
-// last fully committed block. The accumulator public key is not part
-// of the store (it is deployment configuration): this System must use
-// the key that produced it, or replay's ADS/header cross-checks will
-// reject the chain. Call Close when done with the node.
+// time. Reopening is index-only: the chain's headers re-validate
+// immediately, while ADS bodies stay on disk and page in on first use
+// (bounded by Config.ADSCacheBlocks), each fetch re-verified against
+// its header — never rebuilt — so a restarted SP serves verifiable
+// queries immediately without first decoding the whole chain. A torn
+// tail left by a crash is truncated to the last fully committed block.
+// The accumulator public key is not part of the store (it is
+// deployment configuration): this System must use the key that
+// produced it, or the header and page-in cross-checks will reject the
+// chain. Call Close when done with the node.
 func (s *System) OpenFullNode(dir string) (*FullNode, error) {
-	node, err := core.OpenFullNode(chain.Difficulty(s.cfg.Difficulty), s.builder(), dir, storage.Options{})
+	node, err := core.OpenFullNode(chain.Difficulty(s.cfg.Difficulty), s.builder(), dir, storage.Options{},
+		core.WithADSCache(s.cfg.ADSCacheBlocks))
 	if err != nil {
 		return nil, fmt.Errorf("vchain: opening block store: %w", err)
 	}
@@ -84,7 +88,11 @@ func (n *FullNode) Mine(objs []Object, ts int64) (*Block, []Publication, error) 
 	n.mu.Unlock()
 	var pubs []Publication
 	if engine != nil {
-		pubs, err = engine.ProcessBlock(n.node.ADSAt(int(blk.Header.Height)), n.node)
+		ads, err := n.node.ADSAt(int(blk.Header.Height))
+		if err != nil {
+			return nil, nil, fmt.Errorf("vchain: subscriptions: %w", err)
+		}
+		pubs, err = engine.ProcessBlock(ads, n.node)
 		if err != nil {
 			return nil, nil, fmt.Errorf("vchain: subscriptions: %w", err)
 		}

@@ -37,6 +37,7 @@ func (s *System) shardOptions(shards int) shard.Options {
 		Shards:           shards,
 		Workers:          s.cfg.SPWorkers,
 		CacheSize:        s.cfg.ProofCacheSize,
+		ADSCacheBlocks:   s.cfg.ADSCacheBlocks,
 		FailureThreshold: s.cfg.ShardFailureThreshold,
 		BreakerCooldown:  s.cfg.ShardBreakerCooldown,
 	}

@@ -198,6 +198,14 @@ type Config struct {
 	// ShardBreakerCooldown is how long a quarantined shard waits before
 	// the supervisor attempts a restart. 0 means the shard default (5s).
 	ShardBreakerCooldown time.Duration
+	// ADSCacheBlocks bounds a durable node's decoded-ADS cache to that
+	// many blocks (split across the shards of a sharded node), so RAM
+	// stays flat as the chain grows: blocks beyond the budget stay on
+	// disk and page in on demand, each fetch re-verified against its
+	// header. 0 leaves the cache unbounded — everything paged in stays
+	// resident, matching the pre-paging footprint once warm. In-memory
+	// nodes ignore it (their decoded set is the only copy).
+	ADSCacheBlocks int
 	// Seed, when non-empty, derives the accumulator trapdoor
 	// deterministically (reproducible benchmarks and tests only).
 	Seed []byte
