@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+
+	"github.com/vchain-go/vchain/internal/lint"
+)
+
+// vetConfig is the per-package configuration cmd/go writes for a vet
+// tool: the package's files plus the export data of everything it
+// imports, already built. Field names are fixed by the protocol.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetTool analyzes the single package described by cfgPath,
+// following the go vet tool protocol: diagnostics to stderr, exit 2
+// when there are findings, and a facts file written to VetxOutput
+// (this suite passes no facts between packages, so the file is a
+// constant marker that exists to satisfy the protocol and its cache).
+func runVetTool(cfgPath string, analyzers []*lint.Analyzer, jsonOut bool) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Fatalf("parsing %s: %v", cfgPath, err)
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("vchain-lint: no facts\n"), 0o666); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		// This run only wanted dependency facts; there are none.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	pkg, err := lint.CheckFiles(fset, newVetImporter(fset, &cfg), cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		log.Fatal(err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintln(os.Stderr, terr)
+		}
+		return 1
+	}
+
+	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, analyzers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	emit(os.Stderr, diags, jsonOut)
+	return 2
+}
+
+// vetImporter resolves imports from the export data cmd/go already
+// built: source import paths go through ImportMap to the canonical
+// package path, whose compiled export file PackageFile names.
+type vetImporter struct {
+	cfg *vetConfig
+	gc  types.Importer
+}
+
+func newVetImporter(fset *token.FileSet, cfg *vetConfig) *vetImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("vchain-lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &vetImporter{cfg: cfg, gc: importer.ForCompiler(fset, "gc", lookup)}
+}
+
+func (v *vetImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := v.cfg.ImportMap[path]; ok {
+		path = mapped
+	}
+	return v.gc.Import(path)
+}

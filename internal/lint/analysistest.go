@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunFixture loads the fixture package at testdata/src/<path>, runs
+// the analyzer over it, and checks the diagnostics against the
+// package's `// want "regexp"` annotations: every diagnostic must
+// match a want on its line, and every want must be matched — the same
+// contract as golang.org/x/tools/go/analysis/analysistest, implemented
+// here on the standard library alone. Ignore directives apply, so a
+// fixture can also pin the suppression behavior.
+func RunFixture(t *testing.T, a *Analyzer, path string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	imp := newFixtureImporter(root, fset)
+	pkg, err := loadFixturePackage(fset, imp, path, filepath.Join(root, filepath.FromSlash(path)))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture %s: type error: %v", path, terr)
+	}
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, path, err)
+	}
+
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		key := posKey{file: d.Pos.Filename, line: d.Pos.Line}
+		matched := false
+		for i, w := range wants[key] {
+			if w.used || !w.rx.MatchString(d.Message) {
+				continue
+			}
+			wants[key][i].used = true
+			matched = true
+			break
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", d.Pos.Filename, d.Pos.Line, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s:%d: no diagnostic matched want %q", key.file, key.line, w.rx.String())
+			}
+		}
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	rx   *regexp.Regexp
+	used bool
+}
+
+// collectWants parses the `// want "rx" ["rx" ...]` annotations out of
+// the fixture's comments, keyed by the comment's own line.
+func collectWants(t *testing.T, pkg *Package) map[posKey][]want {
+	t.Helper()
+	wants := map[posKey][]want{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := posKey{file: pos.Filename, line: pos.Line}
+				for _, pattern := range splitWantPatterns(t, pos, strings.TrimPrefix(text, "want ")) {
+					rx, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pattern, err)
+					}
+					wants[key] = append(wants[key], want{rx: rx})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitWantPatterns parses a sequence of Go-quoted strings.
+func splitWantPatterns(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		if s[0] != '"' && s[0] != '`' {
+			t.Fatalf("%s:%d: malformed want annotation near %q", pos.Filename, pos.Line, s)
+		}
+		end := -1
+		if s[0] == '`' {
+			if i := strings.IndexByte(s[1:], '`'); i >= 0 {
+				end = i + 1
+			}
+		} else {
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+		}
+		if end < 0 {
+			t.Fatalf("%s:%d: unterminated want pattern in %q", pos.Filename, pos.Line, s)
+		}
+		lit := s[:end+1]
+		unquoted, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want literal %s: %v", pos.Filename, pos.Line, lit, err)
+		}
+		out = append(out, unquoted)
+		s = s[end+1:]
+	}
+}

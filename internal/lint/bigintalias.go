@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BigIntAlias polices the crypto packages' shared-representation
+// contract. Since PR 2, ff field elements hand out their internal
+// *big.Int through raw() without copying — safe only because field
+// ops read raw operands and write exclusively into fresh receivers.
+// Two mistakes would silently corrupt field elements at a distance:
+//
+//  1. mutating a raw representation: calling a big.Int write method
+//     (any method returning *big.Int mutates its receiver) on a value
+//     obtained from raw(), directly or through a local alias;
+//  2. letting a raw representation escape: returning it from an
+//     exported function or storing it into a field or package
+//     variable, where later arithmetic can alias it unseen.
+//
+// Fresh receivers (new(big.Int), big.NewInt) may alias their
+// arguments freely — that is math/big's documented contract and the
+// hot-path idiom this package exists to keep safe.
+var BigIntAlias = &Analyzer{
+	Name: "bigintalias",
+	Doc: "no mutation or escape of shared big.Int representations in crypto packages\n\n" +
+		"Flags big.Int write methods whose receiver derives from a raw()-style " +
+		"accessor, and raw() results escaping via exported returns, fields, or globals.",
+	Run: runBigIntAlias,
+}
+
+func runBigIntAlias(pass *Pass) error {
+	if !pathContainsCrypto(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBigIntFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// pathContainsCrypto reports whether the package belongs to the crypto
+// tree (ff, ec, pairing, poly live under internal/crypto; fixtures
+// mirror the /crypto/ segment).
+func pathContainsCrypto(path string) bool {
+	return pathHasAnySuffix(path, "ff", "ec", "pairing", "poly") ||
+		containsSegment(path, "crypto")
+}
+
+// containsSegment reports whether path has dir as a full segment.
+func containsSegment(path, dir string) bool {
+	for rest := path; rest != ""; {
+		i := 0
+		for i < len(rest) && rest[i] != '/' {
+			i++
+		}
+		if rest[:i] == dir {
+			return true
+		}
+		if i == len(rest) {
+			break
+		}
+		rest = rest[i+1:]
+	}
+	return false
+}
+
+// isRawCall reports whether e is a call to a raw()-style accessor: a
+// niladic method named raw or Raw returning *big.Int.
+func isRawCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || (fn.Name() != "raw" && fn.Name() != "Raw") {
+		return false
+	}
+	sig := fn.Signature()
+	return sig.Recv() != nil && sig.Results().Len() == 1 && isBigIntPtr(sig.Results().At(0).Type())
+}
+
+// isBigIntWriteMethod reports whether the call mutates its *big.Int
+// receiver: every math/big.Int method returning *big.Int writes
+// through the receiver (z.Op(x, y) convention).
+func isBigIntWriteMethod(pass *Pass, call *ast.CallExpr) (recv ast.Expr, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, false
+	}
+	fn, _ := pass.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "math/big" {
+		return nil, false
+	}
+	sig := fn.Signature()
+	if sig.Recv() == nil || !isBigIntPtr(sig.Recv().Type()) {
+		return nil, false
+	}
+	if sig.Results().Len() != 1 || !isBigIntPtr(sig.Results().At(0).Type()) {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// checkBigIntFunc walks one function, tracking locals bound to raw
+// representations.
+func checkBigIntFunc(pass *Pass, fd *ast.FuncDecl) {
+	// rawLocals are identifiers assigned (directly or transitively)
+	// from a raw() call within this function.
+	rawLocals := map[types.Object]bool{}
+
+	isRawValue := func(e ast.Expr) bool {
+		if isRawCall(pass, e) {
+			return true
+		}
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			return rawLocals[pass.Info.Uses[id]] || rawLocals[pass.Info.Defs[id]]
+		}
+		return false
+	}
+
+	exported := fd.Name.IsExported()
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range node.Rhs {
+				if i >= len(node.Lhs) {
+					break
+				}
+				if !isRawValue(rhs) {
+					continue
+				}
+				switch lhs := ast.Unparen(node.Lhs[i]).(type) {
+				case *ast.Ident:
+					obj := pass.Info.Defs[lhs]
+					if obj == nil {
+						obj = pass.Info.Uses[lhs]
+					}
+					if obj == nil {
+						continue
+					}
+					if v, isVar := obj.(*types.Var); isVar && v.Parent() == pass.Pkg.Scope() {
+						pass.Reportf(node.Pos(), "raw big.Int representation stored in package variable %s: shared internals must not escape", v.Name())
+						continue
+					}
+					rawLocals[obj] = true
+				case *ast.SelectorExpr:
+					pass.Reportf(node.Pos(), "raw big.Int representation stored in field %s: shared internals must not outlive the call", types.ExprString(lhs))
+				}
+			}
+		case *ast.ReturnStmt:
+			if !exported {
+				return true
+			}
+			for _, res := range node.Results {
+				if isRawValue(res) {
+					pass.Reportf(res.Pos(), "exported %s returns a raw big.Int representation: return a copy (Big()) instead", fd.Name.Name)
+				}
+			}
+		case *ast.CallExpr:
+			recv, ok := isBigIntWriteMethod(pass, node)
+			if !ok {
+				return true
+			}
+			if isRawValue(recv) {
+				pass.Reportf(node.Pos(), "big.Int write method mutates a shared raw representation (%s): use a fresh receiver", types.ExprString(recv))
+			}
+		}
+		return true
+	})
+}

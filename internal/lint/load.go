@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the directory holding the package's files.
+	Dir string
+	// Fset maps positions for every file in the load.
+	Fset *token.FileSet
+	// Files are the parsed files, comments retained.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the checker's object/expression tables.
+	Info *types.Info
+	// TypeErrors collects type-check problems. Analyzers still run on
+	// partially-typed packages, but drivers surface these separately.
+	TypeErrors []error
+}
+
+// newInfo allocates the types.Info tables the analyzers rely on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	Dir         string
+	ImportPath  string
+	Name        string
+	GoFiles     []string
+	TestGoFiles []string
+}
+
+// LoadOptions tunes a Load.
+type LoadOptions struct {
+	// Dir is the working directory for `go list` (package patterns are
+	// resolved relative to it). Empty means the current directory.
+	Dir string
+	// Tests includes in-package _test.go files in the type-check and
+	// the analysis. External (_test package) files are never loaded.
+	Tests bool
+}
+
+// Load resolves the patterns with `go list` and type-checks each
+// matched package from source using only the standard library's
+// importer — the tree this suite lints must stay buildable without
+// network access, and so must the suite itself. Dependencies are
+// resolved recursively from source and cached across packages, so a
+// whole-module load pays the standard-library type-check once.
+func Load(opts LoadOptions, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = opts.Dir
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, errBuf.String())
+	}
+
+	var listed []listedPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		listed = append(listed, p)
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, lp := range listed {
+		files := lp.GoFiles
+		if opts.Tests {
+			files = append(append([]string{}, lp.GoFiles...), lp.TestGoFiles...)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		pkg, err := checkFiles(fset, imp, lp.ImportPath, lp.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// CheckFiles parses and type-checks one package's files with a
+// caller-supplied importer. It is the entry point for drivers that
+// resolve imports themselves — the go vet unitchecker protocol hands
+// the driver export-data files chosen by cmd/go instead of source.
+func CheckFiles(fset *token.FileSet, imp types.Importer, importPath, dir string, names []string) (*Package, error) {
+	return checkFiles(fset, imp, importPath, dir, names)
+}
+
+// checkFiles parses and type-checks one package's files (named
+// relative to dir).
+func checkFiles(fset *token.FileSet, imp types.Importer, importPath, dir string, names []string) (*Package, error) {
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{Path: importPath, Dir: dir, Fset: fset, Files: files, Info: newInfo()}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// A partially-typed package still analyzes; Check's error is
+	// already collected through conf.Error.
+	pkg.Types, _ = conf.Check(importPath, fset, files, pkg.Info)
+	return pkg, nil
+}
+
+// fixtureImporter resolves imports for analyzer test fixtures: paths
+// that exist under the fixture root (testdata/src) load from there,
+// everything else (the standard library) falls back to the compiler
+// source importer. This is what lets a fixture package fake the shape
+// of internal/storage or internal/core under a synthetic import path.
+type fixtureImporter struct {
+	root     string
+	fset     *token.FileSet
+	fallback types.Importer
+	cache    map[string]*types.Package
+}
+
+func newFixtureImporter(root string, fset *token.FileSet) *fixtureImporter {
+	return &fixtureImporter{
+		root:     root,
+		fset:     fset,
+		fallback: importer.ForCompiler(fset, "source", nil),
+		cache:    map[string]*types.Package{},
+	}
+}
+
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := im.cache[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(im.root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		pkg, err := loadFixturePackage(im.fset, im, path, dir)
+		if err != nil {
+			return nil, err
+		}
+		im.cache[path] = pkg.Types
+		return pkg.Types, nil
+	}
+	return im.fallback.Import(path)
+}
+
+// loadFixturePackage parses and type-checks every .go file in dir as
+// the fixture package path.
+func loadFixturePackage(fset *token.FileSet, imp types.Importer, path, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: fixture %s: %v", path, err)
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: fixture %s: no Go files in %s", path, dir)
+	}
+	return checkFiles(fset, imp, path, dir, names)
+}

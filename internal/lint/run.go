@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RunAnalyzers applies each analyzer to each package, resolves
+// vchainlint:ignore directives, and returns the surviving diagnostics
+// sorted by file, line, column, and analyzer. Malformed directives are
+// reported as diagnostics of the pseudo-analyzer "directive".
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := runOne(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all, nil
+}
+
+// runOne applies the analyzers to a single package and filters the
+// results through the package's ignore directives.
+func runOne(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	if pkg.Types == nil {
+		return nil, fmt.Errorf("lint: package %s failed to load", pkg.Path)
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.Path, err)
+		}
+	}
+	dirs, bad := parseDirectives(pkg.Fset, pkg.Files)
+	diags = suppress(diags, dirs)
+	return append(diags, bad...), nil
+}

@@ -1,0 +1,73 @@
+// Package ff mirrors the real field-element layout: elements share
+// their internal *big.Int through raw() without copying, so field ops
+// must read raw operands and write only into fresh receivers.
+package ff
+
+import "math/big"
+
+type Elt struct {
+	v *big.Int
+}
+
+func (e Elt) raw() *big.Int { return e.v }
+
+// Big returns a defensive copy: the sanctioned escape hatch.
+func (e Elt) Big() *big.Int { return new(big.Int).Set(e.raw()) }
+
+var shared *big.Int
+
+type Field struct {
+	P     *big.Int
+	cache *big.Int
+}
+
+// Add is the hot-path idiom the analyzer must not break: raw operands,
+// fresh receiver, in-place reduction of the fresh receiver.
+func (f *Field) Add(a, b Elt) Elt {
+	r := new(big.Int).Add(a.raw(), b.raw())
+	if r.Cmp(f.P) >= 0 {
+		r.Sub(r, f.P)
+	}
+	return Elt{v: r}
+}
+
+// MutateShared writes through an alias of a's internal representation,
+// corrupting every element sharing it.
+func (f *Field) MutateShared(a, b Elt) Elt {
+	r := a.raw()
+	r.Add(r, b.raw()) // want `big.Int write method mutates a shared raw representation \(r\)`
+	return Elt{v: r}
+}
+
+func (f *Field) MutateDirect(a Elt) {
+	a.raw().SetInt64(0) // want `big.Int write method mutates a shared raw representation`
+}
+
+// Leak hands the shared representation to arbitrary callers.
+func Leak(e Elt) *big.Int {
+	return e.raw() // want `exported Leak returns a raw big.Int representation`
+}
+
+// rawOf is unexported: intra-package plumbing may pass raw values.
+func rawOf(e Elt) *big.Int { return e.raw() }
+
+func (f *Field) Retain(e Elt) {
+	f.cache = e.raw() // want `raw big.Int representation stored in field f.cache`
+}
+
+func Stash(e Elt) {
+	shared = e.raw() // want `raw big.Int representation stored in package variable shared`
+}
+
+// Sum keeps a raw value read-only: reads never trip the analyzer.
+func (f *Field) Sum(es []Elt) Elt {
+	acc := new(big.Int)
+	for _, e := range es {
+		r := e.raw()
+		acc.Add(acc, r)
+	}
+	acc.Mod(acc, f.P)
+	return Elt{v: acc}
+}
+
+var _ = rawOf

@@ -1,0 +1,39 @@
+// Package app is outside the commit pipeline: direct backend mutation
+// here bypasses validate-persist-publish and must be flagged.
+package app
+
+import "commitpath/internal/storage"
+
+type holder struct {
+	be storage.Backend
+}
+
+func (h *holder) bad(data []byte) error {
+	if err := h.be.Append(data); err != nil { // want `direct storage backend Append outside the commit choke point`
+		return err
+	}
+	return h.be.Truncate(0) // want `direct storage backend Truncate outside the commit choke point`
+}
+
+func (h *holder) concrete(l *storage.Log, data []byte) error {
+	return l.Append(data) // want `direct storage backend Append outside the commit choke point`
+}
+
+// Reads do not mutate the chain; they stay legal everywhere.
+func (h *holder) readsAreFine(i int) ([]byte, error) {
+	return h.be.Read(i)
+}
+
+// journal is an unrelated type that happens to declare Append: same
+// method name, different declaring package, no finding.
+type journal struct {
+	lines []string
+}
+
+func (j *journal) Append(line string) {
+	j.lines = append(j.lines, line)
+}
+
+func ok(j *journal) {
+	j.Append("x")
+}

@@ -1,0 +1,9 @@
+// Test files poke backends directly by design: the analyzer skips
+// them.
+package app
+
+import "commitpath/internal/storage"
+
+func scaffold(be storage.Backend) error {
+	return be.Append([]byte("seed")) // test file: no finding
+}

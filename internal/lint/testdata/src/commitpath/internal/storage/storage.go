@@ -1,0 +1,33 @@
+// Package storage mirrors the real internal/storage surface for the
+// commitpath fixtures: a Backend interface and a concrete
+// implementation, both declaring the mutating methods the analyzer
+// polices.
+package storage
+
+type Backend interface {
+	Len() int
+	Append(data []byte) error
+	Read(i int) ([]byte, error)
+	Truncate(n int) error
+	Close() error
+}
+
+type Log struct {
+	recs [][]byte
+}
+
+func (l *Log) Len() int { return len(l.recs) }
+
+func (l *Log) Append(data []byte) error {
+	l.recs = append(l.recs, data)
+	return nil
+}
+
+func (l *Log) Read(i int) ([]byte, error) { return l.recs[i], nil }
+
+func (l *Log) Truncate(n int) error {
+	l.recs = l.recs[:n]
+	return nil
+}
+
+func (l *Log) Close() error { return nil }

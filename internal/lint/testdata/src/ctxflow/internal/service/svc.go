@@ -1,0 +1,93 @@
+// Package service exercises the ctxflow analyzer: exported entry
+// points that spawn goroutines or block on channels must accept a
+// context.Context, or delegate to a Ctx variant.
+package service
+
+import "context"
+
+func work() {}
+
+type Server struct {
+	ch chan int
+}
+
+func (s *Server) Spawn() {
+	go work() // want `exported Spawn starts a goroutine but accepts no context.Context`
+}
+
+func (s *Server) SpawnCtx(ctx context.Context) {
+	go work()
+}
+
+func (s *Server) Send(v int) {
+	s.ch <- v // want `exported Send sends on a channel but accepts no context.Context`
+}
+
+func (s *Server) Recv() int {
+	return <-s.ch // want `exported Recv receives from a channel but accepts no context.Context`
+}
+
+// TrySend only attempts: a select with a default clause never blocks.
+func (s *Server) TrySend(v int) bool {
+	select {
+	case s.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) WaitEither(other chan int) {
+	select { // want `exported WaitEither blocks in a select but accepts no context.Context`
+	case <-s.ch:
+	case <-other:
+	}
+}
+
+func (s *Server) Drain() {
+	for range s.ch { // want `exported Drain ranges over a channel but accepts no context.Context`
+	}
+}
+
+// Subscribe is the sanctioned legacy shape: a thin wrapper that
+// neither spawns nor blocks, delegating to the Ctx variant.
+func (s *Server) Subscribe(topic string) error {
+	return s.SubscribeCtx(context.Background(), topic)
+}
+
+func (s *Server) SubscribeCtx(ctx context.Context, topic string) error {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// spawnLoop is unexported: internal machinery is out of scope.
+func (s *Server) spawnLoop() {
+	go work()
+}
+
+// conn is unexported, so its exported-looking methods are not part of
+// the package surface.
+type conn struct {
+	ch chan int
+}
+
+func (c *conn) Flush() {
+	<-c.ch
+}
+
+// Callback only builds closures; what a callback does when invoked is
+// the caller's concern.
+func Callback(f func()) func() {
+	return func() {
+		go f()
+	}
+}

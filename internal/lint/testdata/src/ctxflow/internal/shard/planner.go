@@ -1,0 +1,17 @@
+// The shard package is in ctxflow scope only for its planner file.
+package shard
+
+import "context"
+
+func Scatter(done chan int) int {
+	return <-done // want `exported Scatter receives from a channel but accepts no context.Context`
+}
+
+func ScatterCtx(ctx context.Context, done chan int) (int, error) {
+	select {
+	case v := <-done:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}

@@ -1,0 +1,25 @@
+// Package storage mirrors the real backend surface for the lockio
+// fixtures.
+package storage
+
+type Backend interface {
+	Append(data []byte) error
+	Read(i int) ([]byte, error)
+	Truncate(n int) error
+}
+
+type Log struct {
+	recs [][]byte
+}
+
+func (l *Log) Append(data []byte) error {
+	l.recs = append(l.recs, data)
+	return nil
+}
+
+func (l *Log) Read(i int) ([]byte, error) { return l.recs[i], nil }
+
+func (l *Log) Truncate(n int) error {
+	l.recs = l.recs[:n]
+	return nil
+}

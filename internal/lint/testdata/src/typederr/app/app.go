@@ -1,0 +1,83 @@
+// Package app exercises the typederr analyzer: sentinel errors must be
+// matched with errors.Is and wrapped with %w.
+package app
+
+import (
+	"errors"
+	"fmt"
+
+	"typederr/errs"
+)
+
+var ErrBoom = errors.New("boom")
+
+// errQuiet is unexported, so identity comparison stays a local choice.
+var errQuiet = errors.New("quiet")
+
+func Check(err error) error {
+	if err == ErrBoom { // want `ErrBoom compared with ==`
+		return nil
+	}
+	if err != errs.ErrRemote { // want `ErrRemote compared with !=`
+		return nil
+	}
+	if errors.Is(err, ErrBoom) {
+		return nil
+	}
+	if err == errQuiet {
+		return nil
+	}
+	if err == nil {
+		return nil
+	}
+	return err
+}
+
+func Classify(err error) string {
+	switch err {
+	case ErrBoom: // want `switch case compares ErrBoom by identity`
+		return "boom"
+	case errs.ErrRemote: // want `switch case compares ErrRemote by identity`
+		return "remote"
+	case nil:
+		return "ok"
+	}
+	return "other"
+}
+
+// Shadow: a local following the Err naming convention is not a
+// package-level sentinel.
+func Shadow(err error) bool {
+	ErrLocal := errors.New("local")
+	return err == ErrLocal
+}
+
+func Flatten(err error) error {
+	if err != nil {
+		return fmt.Errorf("commit: %v", ErrBoom) // want `ErrBoom formatted with %v`
+	}
+	return fmt.Errorf("commit: %s", errs.ErrRemote) // want `ErrRemote formatted with %s`
+}
+
+func Wrap(err error) error {
+	return fmt.Errorf("commit: %w", ErrBoom)
+}
+
+// WrapMixed: the sentinel sits under %w, the detail under %v — only
+// the verb paired with the sentinel matters.
+func WrapMixed(err error) error {
+	if err != nil {
+		return fmt.Errorf("%w: detail %v", ErrBoom, err)
+	}
+	return fmt.Errorf("%v caused %w", err, ErrBoom)
+}
+
+// WrapWidth: flags and width before the verb are parsed through.
+func WrapWidth(err error) error {
+	return fmt.Errorf("pad %-10v end", ErrBoom) // want `ErrBoom formatted with %v`
+}
+
+// WrapStar: '*' consumes an argument slot of its own.
+func WrapStar(n int) error {
+	return fmt.Errorf("%*d %v", n, 7, ErrBoom) // want `ErrBoom formatted with %v`
+}

@@ -1,0 +1,7 @@
+// Package errs exports a sentinel from another package, so the
+// analyzer's cross-package resolution is exercised.
+package errs
+
+import "errors"
+
+var ErrRemote = errors.New("remote unavailable")

@@ -171,11 +171,28 @@ type Client struct {
 // Dial connects to an SP. An optional ClientConfig tunes timeouts,
 // frame caps, and the retry policy.
 func Dial(addr string, cfg ...ClientConfig) (*Client, error) {
+	return DialCtx(context.Background(), addr, cfg...)
+}
+
+// DialCtx is Dial with a caller-scoped context: a context deadline
+// tightens the initial connection attempt (it never widens the
+// configured DialTimeout), and a context already cancelled fails fast.
+// The context does not outlive DialCtx — the client's read loop runs
+// until Close.
+func DialCtx(ctx context.Context, addr string, cfg ...ClientConfig) (*Client, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var c ClientConfig
 	if len(cfg) > 0 {
 		c = cfg[0]
 	}
 	c = c.withDefaults()
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < c.DialTimeout {
+			c.DialTimeout = rem
+		}
+	}
 	cli := &Client{
 		cfg:     c,
 		addr:    addr,

@@ -79,6 +79,10 @@ type Server struct {
 	cfg    ServerConfig
 	engine *subscribe.Engine
 
+	// done closes when the server shuts down; ServeCtx's context
+	// watcher exits through it when the server dies before the context.
+	done chan struct{}
+
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[*serverConn]struct{}
@@ -112,6 +116,7 @@ func NewServer(node Chain, cfg ...ServerConfig) *Server {
 		node:     node,
 		cfg:      c,
 		engine:   subscribe.NewEngine(node.Acc(), subOpts),
+		done:     make(chan struct{}),
 		conns:    map[*serverConn]struct{}{},
 		subOwner: map[int]*serverConn{},
 	}
@@ -121,14 +126,38 @@ func NewServer(node Chain, cfg ...ServerConfig) *Server {
 // bound address. Connections are handled on background goroutines
 // until Close.
 func (s *Server) Serve(addr string) (string, error) {
+	return s.ServeCtx(context.Background(), addr)
+}
+
+// ServeCtx is Serve with a caller-scoped lifetime: cancelling ctx
+// closes the listener and ends the accept loop. Connections already
+// accepted keep running until Close tears them down.
+func (s *Server) ServeCtx(ctx context.Context, addr string) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("service: listen: %w", err)
 	}
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", errors.New("service: server closed")
+	}
 	s.listener = ln
 	s.mu.Unlock()
 	go s.acceptLoop(ln)
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				ln.Close()
+			case <-s.done:
+			}
+		}()
+	}
 	return ln.Addr().String(), nil
 }
 
@@ -222,6 +251,9 @@ func (s *Server) Subscriptions() []int { return s.engine.Subscriptions() }
 // Close stops the listener and open connections.
 func (s *Server) Close() error {
 	s.mu.Lock()
+	if !s.closed && s.done != nil {
+		close(s.done)
+	}
 	s.closed = true
 	var err error
 	if s.listener != nil {

@@ -76,6 +76,13 @@ type Subscription struct {
 // Subscribe registers a continuous query with the SP and returns its
 // verified delivery stream. The query's window fields are ignored.
 func (c *Client) Subscribe(q core.Query, cfg SubscribeConfig) (*Subscription, error) {
+	return c.SubscribeCtx(context.Background(), q, cfg)
+}
+
+// SubscribeCtx is Subscribe with a caller-scoped context bounding the
+// subscribe handshake. The context does not outlive the call: the
+// returned stream runs until Close or a transport failure.
+func (c *Client) SubscribeCtx(ctx context.Context, q core.Query, cfg SubscribeConfig) (*Subscription, error) {
 	if cfg.Acc == nil || cfg.Light == nil {
 		return nil, errors.New("service: SubscribeConfig needs Acc and Light")
 	}
@@ -85,7 +92,7 @@ func (c *Client) Subscribe(q core.Query, cfg SubscribeConfig) (*Subscription, er
 	c.mu.Lock()
 	c.subscribing++
 	c.mu.Unlock()
-	resp, gen, err := c.roundTrip(context.Background(), &Request{Kind: "subscribe", Query: q})
+	resp, gen, err := c.roundTrip(ctx, &Request{Kind: "subscribe", Query: q})
 
 	c.mu.Lock()
 	c.subscribing--

